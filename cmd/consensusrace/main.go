@@ -1,0 +1,100 @@
+// Command consensusrace runs the native protocols under real goroutine
+// concurrency and prints agreement outcomes and register audits
+// (experiments E2 and E9).
+//
+// Usage:
+//
+//	consensusrace [-n 8] [-trials 20] [-randomized]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/native"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "consensusrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 8, "number of processes")
+	trials := flag.Int("trials", 20, "number of independent races")
+	randomized := flag.Bool("randomized", false, "race the randomized protocol instead of DiskRace")
+	flag.Parse()
+
+	decidedOnes := 0
+	var flips int
+	for trial := 0; trial < *trials; trial++ {
+		v, f, err := race(*n, trial, *randomized)
+		if err != nil {
+			return err
+		}
+		decidedOnes += v
+		flips += f
+	}
+	name := "diskrace"
+	if *randomized {
+		name = "randomized"
+	}
+	fmt.Printf("%s n=%d: %d trials, all agreed; decided 1 in %d trials", name, *n, *trials, decidedOnes)
+	if *randomized {
+		fmt.Printf("; %d total coin flips", flips)
+	}
+	fmt.Println()
+	return nil
+}
+
+func race(n, trial int, randomized bool) (int, int, error) {
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = (i + trial) % 2
+	}
+	decided := make([]int, n)
+	flips := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	var d *native.DiskRace
+	var r *native.Randomized
+	if randomized {
+		r = native.NewRandomized(n)
+	} else {
+		d = native.NewDiskRace(n)
+	}
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			if randomized {
+				res, err := r.Propose(pid, inputs[pid], rand.New(rand.NewSource(int64(trial*1000+pid))))
+				decided[pid], flips[pid], errs[pid] = res.Value, res.Flips, err
+				return
+			}
+			decided[pid], errs[pid] = d.Propose(pid, inputs[pid])
+		}(pid)
+	}
+	wg.Wait()
+	totalFlips := 0
+	for pid := 0; pid < n; pid++ {
+		if errs[pid] != nil {
+			return 0, 0, errs[pid]
+		}
+		if decided[pid] != decided[0] {
+			return 0, 0, fmt.Errorf("trial %d: agreement violated: %v", trial, decided)
+		}
+		totalFlips += flips[pid]
+	}
+	if !randomized {
+		if got := d.Stats().Touched; got != n {
+			return 0, 0, fmt.Errorf("trial %d: wrote %d registers, expected n=%d", trial, got, n)
+		}
+	}
+	return decided[0], totalFlips, nil
+}

@@ -1,0 +1,52 @@
+// Command modelcheck verifies a consensus protocol by bounded-exhaustive
+// state-space exploration: Agreement, Validity and solo termination over
+// every binary input vector (experiments E2/E3 support).
+//
+// Usage:
+//
+//	modelcheck [-protocol flood] [-n 2] [-max-configs 0] [-skip-solo]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/check"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "modelcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	protocol := flag.String("protocol", core.ProtocolFlood, "protocol to verify (diskrace, flood, eagerflood, greedyflood)")
+	n := flag.Int("n", 2, "number of processes")
+	maxConfigs := flag.Int("max-configs", 0, "cap per exploration (0 = default)")
+	skipSolo := flag.Bool("skip-solo", false, "skip the solo-termination check")
+	flag.Parse()
+
+	m, opts, err := core.Machine(*protocol)
+	if err != nil {
+		return err
+	}
+	if *maxConfigs > 0 {
+		opts.MaxConfigs = *maxConfigs
+	}
+	report, err := check.Consensus(m, *n, check.Options{
+		Explore:  opts,
+		SkipSolo: *skipSolo,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	if !report.OK() {
+		os.Exit(2)
+	}
+	return nil
+}

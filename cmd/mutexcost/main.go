@@ -1,0 +1,48 @@
+// Command mutexcost regenerates experiment E6: the state-change cost of
+// canonical mutual exclusion executions for Peterson's level algorithm and
+// the tournament lock, against the Fan-Lynch Ω(n log n) floor.
+//
+// Usage:
+//
+//	mutexcost [-max-n 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/encdec"
+	"repro/internal/mutex"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mutexcost:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	maxN := flag.Int("max-n", 64, "largest n (doubling from 4)")
+	flag.Parse()
+
+	fmt.Printf("%6s %12s %12s %12s %14s %14s\n",
+		"n", "peterson", "tournament", "log2(n!)", "pet/(n lg n)", "tour/(n lg n)")
+	for n := 4; n <= *maxN; n *= 2 {
+		p, err := mutex.Run(mutex.Peterson{}, n, mutex.RoundRobin())
+		if err != nil {
+			return err
+		}
+		tr, err := mutex.Run(mutex.Tournament{}, n, mutex.RoundRobin())
+		if err != nil {
+			return err
+		}
+		nlogn := float64(n) * math.Log2(float64(n))
+		fmt.Printf("%6d %12d %12d %12d %14.2f %14.2f\n",
+			n, p.Cost, tr.Cost, encdec.FactorialBits(n),
+			float64(p.Cost)/nlogn, float64(tr.Cost)/nlogn)
+	}
+	return nil
+}

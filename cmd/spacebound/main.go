@@ -1,0 +1,68 @@
+// Command spacebound runs the paper's Theorem 1 adversary against a
+// consensus protocol and prints the witness: an execution after which n-1
+// distinct registers are covered or written (experiment E1), optionally as
+// a Graphviz figure in the style of the paper's Figure 4 (experiment E4).
+//
+// Usage:
+//
+//	spacebound [-protocol diskrace] [-n 3] [-max-configs 0] [-figures] [-transcript]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/valency"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spacebound:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	protocol := flag.String("protocol", core.ProtocolDiskRace, "protocol to attack (diskrace, flood)")
+	n := flag.Int("n", 3, "number of processes")
+	maxConfigs := flag.Int("max-configs", 0, "cap per valency query (0 = default)")
+	figures := flag.Bool("figures", false, "emit the witness as Graphviz DOT (paper Figure 4 style)")
+	transcript := flag.Bool("transcript", false, "print the full step-by-step execution")
+	flag.Parse()
+
+	m, opts, err := core.Machine(*protocol)
+	if err != nil {
+		return err
+	}
+	if *maxConfigs > 0 {
+		opts.MaxConfigs = *maxConfigs
+	}
+	engine := adversary.New(valency.New(opts))
+	w, err := engine.Theorem1(m, *n)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(w)
+	fmt.Println()
+	fmt.Print(trace.CoverTable(w))
+	stats := engine.Oracle().Stats()
+	fmt.Printf("\nvalency oracle: %d queries (%d memoised), %d configurations searched\n",
+		stats.Queries, stats.Hits, stats.Configs)
+
+	if *transcript {
+		initial := model.NewConfig(m, w.Inputs)
+		fmt.Println("\nexecution transcript:")
+		fmt.Print(trace.Transcript(initial, w.Execution))
+	}
+	if *figures {
+		fmt.Println()
+		fmt.Print(trace.Theorem1DOT(w))
+	}
+	return nil
+}

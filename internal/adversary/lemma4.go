@@ -1,0 +1,231 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Lemma4Result is the conclusion of Lemma 4: after the p-only execution
+// Alpha from the starting configuration, the pair Q is bivalent and every
+// process in p - Q covers a different register.
+type Lemma4Result struct {
+	// Alpha is the constructed p-only execution.
+	Alpha model.Path
+	// Q is the bivalent pair.
+	Q []int
+	// Config is the configuration reached by Alpha.
+	Config model.Config
+	// Covered maps each process in p-Q to the distinct register it covers.
+	Covered map[int]int
+	// Rounds counts covering-sequence iterations (the D_i of the proof),
+	// summed over all recursion levels, for the experiment tables.
+	Rounds int
+}
+
+// Lemma4 implements the paper's main technical lemma by induction on |p|:
+// given p bivalent from c (|p| >= 2), construct a p-only execution α and a
+// pair Q ⊆ p such that Q is bivalent from cα and every process in p - Q
+// covers a different register in cα.
+//
+// The construction follows the proof verbatim: Lemma 1 peels off a process z
+// leaving p-{z} bivalent; the induction hypothesis plus Lemma 3 then yield a
+// sequence of configurations D_0, D_1, ... in each of which some pair is
+// bivalent and the rest of p-{z} cover distinct registers, consecutive
+// configurations being linked by executions α_i = φ_i β_i ψ_i that contain a
+// block write β_i. Since there are finitely many registers, two indices
+// i < j cover the same register set V; z is then run solo from D_i φ_i until
+// poised to write outside V (Lemma 2 guarantees this), its covered writes
+// are hidden under the block write β_i, and the suffix ψ_i α_{i+1} ... α_{j-1}
+// replays unchanged because p-{z} cannot distinguish the configurations.
+func (e *Engine) Lemma4(c model.Config, p []int) (*Lemma4Result, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("lemma 4: need |P| >= 2, got %d", len(p))
+	}
+	if biv, err := e.oracle.Bivalent(c, p); err != nil {
+		return nil, fmt.Errorf("lemma 4: %w", err)
+	} else if !biv {
+		return nil, fmt.Errorf("lemma 4: P=%v not bivalent from c", p)
+	}
+	return e.lemma4(c, p)
+}
+
+// lemma4 is the recursive worker; the precondition (p bivalent from c) is
+// the caller's responsibility.
+func (e *Engine) lemma4(c model.Config, p []int) (*Lemma4Result, error) {
+	if len(p) == 2 {
+		// Base case: α empty, Q = p, nothing covered.
+		return &Lemma4Result{
+			Alpha:   model.Path{},
+			Q:       append([]int{}, p...),
+			Config:  c,
+			Covered: map[int]int{},
+		}, nil
+	}
+
+	// Lemma 1: peel off z so that p-{z} is bivalent from d = cγ.
+	gamma, z, err := e.Lemma1(c, p)
+	if err != nil {
+		return nil, fmt.Errorf("lemma 4 (|P|=%d): %w", len(p), err)
+	}
+	rest := model.Without(p, z)
+	d := model.RunPath(c, gamma)
+
+	// Build the covering sequence (D_i).
+	// D_0 comes from the induction hypothesis applied at d.
+	ih, err := e.lemma4(d, rest)
+	if err != nil {
+		return nil, err
+	}
+	eta := ih.Alpha
+	totalRounds := ih.Rounds
+
+	rounds := make([]coveringRound, 0, 8)
+	seen := make(map[string]int) // cover signature -> first index
+	cur := coveringRound{config: ih.Config, q: ih.Q, r: model.Without(rest, ih.Q...)}
+
+	for i := 0; ; i++ {
+		if i >= e.maxRounds {
+			return nil, fmt.Errorf("lemma 4: no repeated cover set within %d rounds (pigeonhole violated?)", e.maxRounds)
+		}
+		totalRounds++
+		sig, cover, err := coverSignature(cur.config, cur.r)
+		if err != nil {
+			return nil, fmt.Errorf("lemma 4 round %d: %w", i, err)
+		}
+		cur.sig, cur.cover = sig, cover
+		if len(cover) != len(cur.r) {
+			return nil, fmt.Errorf("lemma 4 round %d: R_i covers %d registers for %d processes (not distinct)",
+				i, len(cover), len(cur.r))
+		}
+
+		if j, ok := seen[sig]; ok {
+			// Pigeonhole: rounds[j] and cur cover the same set V.
+			// (The proof's i is our rounds[j], its j our cur.)
+			res, err := e.spliceZ(rounds, j, cur, z, rest)
+			if err != nil {
+				return nil, err
+			}
+			res.Alpha = model.ConcatPaths(gamma, eta, res.Alpha)
+			res.Rounds = totalRounds
+			return res, nil
+		}
+		seen[sig] = i
+
+		// Advance to D_{i+1}.
+		if len(cur.r) == 0 {
+			// R_i = ∅: D_{i+1} = D_i with empty α_i. The signature
+			// "" repeats immediately at the next iteration, so the
+			// pigeonhole branch fires with V = ∅.
+			cur.phi, cur.beta, cur.psi, cur.alpha = nil, nil, nil, nil
+			rounds = append(rounds, cur)
+			cur = coveringRound{config: cur.config, q: cur.q, r: cur.r}
+			continue
+		}
+		phi, _, err := e.Lemma3(cur.config, rest, cur.r)
+		if err != nil {
+			return nil, fmt.Errorf("lemma 4 round %d: %w", i, err)
+		}
+		beta := model.MovesOf(model.BlockWrite(cur.r))
+		afterBlock := model.RunPath(cur.config, model.ConcatPaths(phi, beta))
+		// R_i ∪ {q} is bivalent from D_i φ_i β_i, hence (Prop 1(ii))
+		// rest is bivalent there; apply the induction hypothesis.
+		next, err := e.lemma4(afterBlock, rest)
+		if err != nil {
+			return nil, err
+		}
+		totalRounds += next.Rounds
+		cur.phi, cur.beta, cur.psi = phi, beta, next.Alpha
+		cur.alpha = model.ConcatPaths(phi, beta, next.Alpha)
+		rounds = append(rounds, cur)
+		cur = coveringRound{config: next.Config, q: next.Q, r: model.Without(rest, next.Q...)}
+	}
+}
+
+// coveringRound records one configuration D_i of Lemma 4's covering
+// sequence, together with the executions linking it to D_{i+1}.
+type coveringRound struct {
+	config model.Config // D_i
+	q      []int        // bivalent pair Q_i
+	r      []int        // covering set R_i = rest - Q_i
+	sig    string       // canonical covered-register set of R_i in D_i
+	cover  map[int]bool // registers covered by R_i in D_i
+	phi    model.Path   // φ_i (Q_i-only, from Lemma 3)
+	beta   model.Path   // β_i (block write by R_i)
+	psi    model.Path   // ψ_i (rest-only, from the induction hypothesis)
+	alpha  model.Path   // α_i = φ_i β_i ψ_i
+}
+
+// spliceZ performs the pigeonhole step of Lemma 4's proof: rounds[i] and the
+// later round cur (the proof's D_i and D_j) cover the same register set V.
+// Run z solo from D_i·φ_i until it is poised to write outside V (its prefix
+// ζ' writes only inside V, so the block write β_i hides it from rest), then
+// replay ψ_i α_{i+1} ... α_{j-1} to reach a configuration indistinguishable
+// from D_j to rest — in which z additionally covers a register outside V.
+func (e *Engine) spliceZ(rounds []coveringRound, i int, cur coveringRound, z int, rest []int) (*Lemma4Result, error) {
+	ri := rounds[i]
+	afterPhi := model.RunPath(ri.config, ri.phi)
+
+	// ζ': z's solo execution from D_i φ_i truncated before its first
+	// write outside the cover of R_i in D_i (Lemma 2 guarantees such a
+	// write exists because R_i ∪ {q_i} ⊆ rest is bivalent from D_i φ_i β_i).
+	zetaPrime, outside, err := e.Lemma2(afterPhi, ri.r, z)
+	if err != nil {
+		return nil, fmt.Errorf("lemma 4 splice: %w", err)
+	}
+
+	// α-suffix: ζ' β_i ψ_i α_{i+1} ... α_{j-1}.
+	suffix := model.ConcatPaths(zetaPrime, ri.beta, ri.psi)
+	for k := i + 1; k < len(rounds); k++ {
+		suffix = model.ConcatPaths(suffix, rounds[k].alpha)
+	}
+	// Prefix: α_0 ... α_{i-1} φ_i.
+	var alpha model.Path
+	for k := 0; k < i; k++ {
+		alpha = model.ConcatPaths(alpha, rounds[k].alpha)
+	}
+	alpha = model.ConcatPaths(alpha, ri.phi, suffix)
+
+	final := model.RunPath(rounds[0].config, alpha)
+
+	// Verification: rest cannot distinguish `final` from D_j = cur.config,
+	// the pair cur.q is bivalent, and the covering processes cover
+	// distinct registers with z strictly outside V.
+	if !final.IndistinguishableTo(cur.config, rest) {
+		return nil, fmt.Errorf("lemma 4 splice: final configuration distinguishable from D_j by P-{z}")
+	}
+	covered := make(map[int]int, len(cur.r)+1)
+	used := make(map[int]bool, len(cur.r)+1)
+	for _, pid := range cur.r {
+		reg, ok := final.CoveredRegister(pid)
+		if !ok || used[reg] {
+			return nil, fmt.Errorf("lemma 4 splice: p%d does not cover a fresh register", pid)
+		}
+		covered[pid], used[reg] = reg, true
+	}
+	if used[outside] {
+		return nil, fmt.Errorf("lemma 4 splice: z's register %d already covered", outside)
+	}
+	zReg, ok := final.CoveredRegister(z)
+	if !ok || zReg != outside {
+		return nil, fmt.Errorf("lemma 4 splice: z not poised on register %d", outside)
+	}
+	covered[z] = outside
+
+	q := append([]int{}, cur.q...)
+	sort.Ints(q)
+	biv, err := e.oracle.Bivalent(final, q)
+	if err != nil {
+		return nil, fmt.Errorf("lemma 4 splice verify: %w", err)
+	}
+	if !biv {
+		return nil, fmt.Errorf("lemma 4 splice: Q=%v not bivalent in final configuration", q)
+	}
+	return &Lemma4Result{
+		Alpha:   alpha,
+		Q:       q,
+		Config:  final,
+		Covered: covered,
+	}, nil
+}

@@ -1,0 +1,32 @@
+package adversary
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/explore"
+)
+
+// TestTheorem1DiskRaceN4 exercises the full recursion of Lemma 4 (covering
+// sets of size 2, pigeonhole over register subsets). Its first univalence
+// query alone must exhaust a >2·10⁸-state quotient, so the test only runs
+// when explicitly requested (REPRO_HEAVY=1, hours of CPU and ~15 GB RAM).
+func TestTheorem1DiskRaceN4(t *testing.T) {
+	if os.Getenv("REPRO_HEAVY") == "" {
+		t.Skip("n=4 adversary run needs REPRO_HEAVY=1 (hours of CPU, ~15 GB RAM)")
+	}
+	e := newEngine(explore.Options{
+		KeyFn:      consensus.DiskRace{}.CanonicalKey,
+		MaxConfigs: 220_000_000,
+	})
+	w, err := e.Theorem1(consensus.DiskRace{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Registers < 3 {
+		t.Fatalf("witnessed %d registers, want >= 3", w.Registers)
+	}
+	t.Logf("%v", w)
+	t.Logf("oracle: %+v", w.OracleStats)
+}

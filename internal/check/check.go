@@ -1,0 +1,278 @@
+// Package check verifies consensus protocols expressed in internal/model by
+// bounded-exhaustive state-space exploration: Agreement (no two processes
+// decide differently), Validity (decisions are inputs), and the paper's
+// nondeterministic-solo-termination hypothesis (from every reachable
+// configuration, every process can decide by running alone).
+//
+// These checks are what entitles the lower-bound experiments to call a
+// protocol "a consensus protocol": the adversary in internal/adversary
+// assumes the protocol it attacks is correct, exactly as the paper's proof
+// assumes Π solves consensus.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// ViolationKind classifies what went wrong.
+type ViolationKind uint8
+
+const (
+	// Agreement: two processes decided different values.
+	Agreement ViolationKind = iota + 1
+	// Validity: a process decided a value nobody proposed.
+	Validity
+	// SoloTermination: from a reachable configuration some process cannot
+	// decide running alone (the protocol is not NST).
+	SoloTermination
+)
+
+// String implements fmt.Stringer.
+func (k ViolationKind) String() string {
+	switch k {
+	case Agreement:
+		return "agreement"
+	case Validity:
+		return "validity"
+	case SoloTermination:
+		return "solo-termination"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+	}
+}
+
+// Violation describes one counterexample.
+type Violation struct {
+	Kind   ViolationKind
+	Inputs []model.Value
+	// Path drives the initial configuration to the violating one.
+	Path model.Path
+	// Detail is a human-readable account (which values clashed, which
+	// process is stuck, ...).
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	ins := make([]string, len(v.Inputs))
+	for i, in := range v.Inputs {
+		ins[i] = string(in)
+	}
+	return fmt.Sprintf("%v violation with inputs [%s] after %q: %s",
+		v.Kind, strings.Join(ins, " "), v.Path.Schedule().String(), v.Detail)
+}
+
+// Options configure a verification run.
+type Options struct {
+	// Explore bounds each per-input-vector exploration.
+	Explore explore.Options
+	// SoloStepCap bounds the length of solo runs examined for the
+	// solo-termination check; zero means DefaultSoloStepCap.
+	SoloStepCap int
+	// SkipSolo disables the (comparatively expensive) solo-termination
+	// check.
+	SkipSolo bool
+	// MaxViolations stops the check after this many counterexamples;
+	// zero means stop at the first.
+	MaxViolations int
+}
+
+// DefaultSoloStepCap bounds solo runs in the solo-termination check. The
+// protocols in internal/consensus decide solo within O(n²) steps; the cap is
+// generous so a cap-induced false positive clearly signals a real problem.
+const DefaultSoloStepCap = 4096
+
+func (o Options) soloCap() int {
+	if o.SoloStepCap <= 0 {
+		return DefaultSoloStepCap
+	}
+	return o.SoloStepCap
+}
+
+func (o Options) maxViolations() int {
+	if o.MaxViolations <= 0 {
+		return 1
+	}
+	return o.MaxViolations
+}
+
+// Report is the outcome of verifying one protocol at one system size.
+type Report struct {
+	Protocol   string
+	N          int
+	Configs    int // distinct configurations visited, summed over inputs
+	Inputs     int // input vectors checked
+	Capped     bool
+	Violations []Violation
+}
+
+// OK reports whether the protocol passed every check that ran.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String summarises the report in one line.
+func (r *Report) String() string {
+	status := "ok"
+	if !r.OK() {
+		status = fmt.Sprintf("%d violation(s), first: %v", len(r.Violations), r.Violations[0])
+	}
+	capped := ""
+	if r.Capped {
+		capped = " [capped]"
+	}
+	return fmt.Sprintf("%s n=%d: %d inputs, %d configs%s: %s",
+		r.Protocol, r.N, r.Inputs, r.Configs, capped, status)
+}
+
+// Consensus verifies machine m for n processes over every binary input
+// vector. It explores the full reachable configuration space (within
+// opts.Explore bounds) and checks Agreement, Validity and solo termination
+// at every configuration.
+func Consensus(m model.Machine, n int, opts Options) (*Report, error) {
+	return agreementAtMost(m, n, 1, opts)
+}
+
+// KSet verifies k-set agreement: at most k distinct values decided, plus
+// Validity and solo termination — the checker the paper's Section 4 future
+// work (Ω(n-k) space for k-set agreement) would certify protocols against.
+func KSet(m model.Machine, n, k int, opts Options) (*Report, error) {
+	return agreementAtMost(m, n, k, opts)
+}
+
+// agreementAtMost is the shared worker: at most maxDistinct decided values.
+func agreementAtMost(m model.Machine, n, maxDistinct int, opts Options) (*Report, error) {
+	report := &Report{Protocol: m.Name(), N: n}
+	for _, inputs := range BinaryInputs(n) {
+		if err := checkInputs(m, inputs, maxDistinct, opts, report); err != nil {
+			return report, err
+		}
+		report.Inputs++
+		if len(report.Violations) >= opts.maxViolations() {
+			break
+		}
+	}
+	return report, nil
+}
+
+// BinaryInputs enumerates all 2^n binary input vectors for n processes.
+func BinaryInputs(n int) [][]model.Value {
+	out := make([][]model.Value, 0, 1<<n)
+	for bits := 0; bits < 1<<n; bits++ {
+		in := make([]model.Value, n)
+		for i := range in {
+			if bits&(1<<i) != 0 {
+				in[i] = "1"
+			} else {
+				in[i] = "0"
+			}
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func checkInputs(m model.Machine, inputs []model.Value, maxDistinct int, opts Options, report *Report) error {
+	valid := make(map[model.Value]bool, len(inputs))
+	for _, in := range inputs {
+		valid[in] = true
+	}
+	all := make([]int, len(inputs))
+	for i := range all {
+		all[i] = i
+	}
+	root := model.NewConfig(m, inputs)
+
+	// flagged records violating configuration IDs with their details; the
+	// witness paths are reconstructed after the search completes.
+	type flag struct {
+		kind   ViolationKind
+		id     int
+		detail string
+	}
+	var flagged []flag
+	res, err := explore.Reach(root, all, opts.Explore, func(v explore.Visit) bool {
+		decided := v.Config.DecidedValues()
+		if len(decided) > maxDistinct {
+			flagged = append(flagged, flag{
+				kind:   Agreement,
+				id:     v.ID,
+				detail: fmt.Sprintf("%d decided values %s exceed the bound %d", len(decided), valueSet(decided), maxDistinct),
+			})
+		}
+		for val := range decided {
+			if !valid[val] {
+				flagged = append(flagged, flag{
+					kind:   Validity,
+					id:     v.ID,
+					detail: fmt.Sprintf("decided %q, proposed only %s", string(val), valueSet(valid)),
+				})
+			}
+		}
+		// Solo termination is checked at visit time, while the
+		// configuration is transiently available.
+		if !opts.SkipSolo && len(flagged) == 0 {
+			for pid := 0; pid < len(inputs); pid++ {
+				if ok, detail := soloDecides(v.Config, pid, opts.soloCap()); !ok {
+					flagged = append(flagged, flag{
+						kind:   SoloTermination,
+						id:     v.ID,
+						detail: detail,
+					})
+				}
+			}
+		}
+		return len(flagged) < opts.maxViolations()
+	})
+	if err != nil {
+		report.Capped = true
+	}
+	report.Configs += res.Count
+
+	for _, f := range flagged {
+		path, _ := res.PathTo(f.id)
+		report.Violations = append(report.Violations, Violation{
+			Kind:   f.kind,
+			Inputs: inputs,
+			Path:   path,
+			Detail: f.detail,
+		})
+		if len(report.Violations) >= opts.maxViolations() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// soloDecides reports whether process pid decides when run alone from c.
+// Deterministic processes trace a single path; coin flips branch (bounded
+// DFS over outcomes) — it suffices that *some* outcome sequence decides,
+// matching nondeterministic solo termination.
+func soloDecides(c model.Config, pid, budget int) (bool, string) {
+	if _, ok := c.Decided(pid); ok {
+		return true, ""
+	}
+	if budget == 0 {
+		return false, fmt.Sprintf("p%d still undecided at solo step cap", pid)
+	}
+	op := c.State(pid).Pending()
+	if op.Kind == model.OpCoin {
+		if ok, _ := soloDecides(c.Step(pid, "0"), pid, budget-1); ok {
+			return true, ""
+		}
+		return soloDecides(c.Step(pid, "1"), pid, budget-1)
+	}
+	return soloDecides(c.StepDet(pid), pid, budget-1)
+}
+
+func valueSet(m map[model.Value]bool) string {
+	vals := make([]string, 0, len(m))
+	for v := range m {
+		vals = append(vals, fmt.Sprintf("%q", string(v)))
+	}
+	sort.Strings(vals)
+	return "{" + strings.Join(vals, ",") + "}"
+}

@@ -1,0 +1,79 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// CrashReport summarises a crash-tolerance fuzzing run.
+type CrashReport struct {
+	Protocol string
+	N        int
+	Trials   int
+	// DecidedBeforeCrash counts trials in which some process had already
+	// decided when the crash was injected (the interesting cases).
+	DecidedBeforeCrash int
+}
+
+// String renders the report.
+func (r CrashReport) String() string {
+	return fmt.Sprintf("%s n=%d: %d crash trials ok (%d with a pre-crash decision)",
+		r.Protocol, r.N, r.Trials, r.DecidedBeforeCrash)
+}
+
+// CrashTolerance fuzzes crash-stop failures: run the protocol under a
+// random schedule to a random depth, crash a random subset of processes
+// (they simply never take another step — in asynchronous shared memory a
+// crash is indistinguishable from being very slow), and let one survivor
+// run alone. The survivor must decide (obstruction freedom survives any
+// number of crashes) and must agree with any decision made before the
+// crash. soloCap bounds survivor runs; deterministic protocols only.
+func CrashTolerance(m model.Machine, n, trials int, seed int64, soloCap int) (CrashReport, error) {
+	if soloCap <= 0 {
+		soloCap = DefaultSoloStepCap
+	}
+	rng := rand.New(rand.NewSource(seed))
+	report := CrashReport{Protocol: m.Name(), N: n, Trials: trials}
+	vectors := BinaryInputs(n)
+	for trial := 0; trial < trials; trial++ {
+		inputs := vectors[rng.Intn(len(vectors))]
+		c := model.NewConfig(m, inputs)
+		for step := 0; step < rng.Intn(12*n*n); step++ {
+			c = c.StepDet(rng.Intn(n))
+		}
+		// Record any decision already made.
+		preDecided := model.Bottom
+		for pid := 0; pid < n; pid++ {
+			if v, ok := c.Decided(pid); ok {
+				preDecided = v
+			}
+		}
+		if preDecided != model.Bottom {
+			report.DecidedBeforeCrash++
+		}
+		// Crash everyone except one random survivor.
+		survivor := rng.Intn(n)
+		decided := model.Bottom
+		ok := false
+		for step := 0; step < soloCap; step++ {
+			if v, done := c.Decided(survivor); done {
+				decided, ok = v, true
+				break
+			}
+			c = c.StepDet(survivor)
+		}
+		if !ok {
+			return report, fmt.Errorf(
+				"crash trial %d: survivor p%d failed to decide within %d solo steps (inputs %v)",
+				trial, survivor, soloCap, inputs)
+		}
+		if preDecided != model.Bottom && decided != preDecided {
+			return report, fmt.Errorf(
+				"crash trial %d: survivor p%d decided %q but %q was already decided before the crash",
+				trial, survivor, string(decided), string(preDecided))
+		}
+	}
+	return report, nil
+}

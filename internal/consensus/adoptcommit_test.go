@@ -1,0 +1,124 @@
+package consensus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// acOutcome decodes a decided adopt-commit outcome string.
+func acOutcome(v model.Value) (commit bool, val string) {
+	s := string(v)
+	return strings.HasPrefix(s, "C:"), strings.TrimPrefix(strings.TrimPrefix(s, "C:"), "A:")
+}
+
+// TestAdoptCommitModelProperties exhaustively verifies the adopt-commit
+// object's three properties over every interleaving for n = 2, 3, 4 and
+// every binary input vector:
+//
+//	(a) unanimous proposals commit the proposal,
+//	(b) a commit of v forces every outcome's value to v,
+//	(c) outcome values were proposed.
+//
+// This machine-checks the hand-proof in internal/native's AdoptCommit
+// (including the at-most-one-B invariant implicitly: both-B would yield
+// contradictory commits, which (b) forbids).
+func TestAdoptCommitModelProperties(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for _, inputs := range check.BinaryInputs(n) {
+			proposed := map[string]bool{}
+			unanimous := true
+			for _, in := range inputs {
+				proposed[string(in)] = true
+				if in != inputs[0] {
+					unanimous = false
+				}
+			}
+			all := make([]int, n)
+			for i := range all {
+				all[i] = i
+			}
+			root := model.NewConfig(AdoptCommit{}, inputs)
+			_, err := explore.Reach(root, all, explore.Options{}, func(v explore.Visit) bool {
+				committed := map[string]bool{}
+				outcomes := map[string]bool{}
+				done := 0
+				for pid := 0; pid < n; pid++ {
+					out, ok := v.Config.Decided(pid)
+					if !ok {
+						continue
+					}
+					done++
+					c, val := acOutcome(out)
+					outcomes[val] = true
+					if c {
+						committed[val] = true
+					}
+					// (c) validity.
+					if !proposed[val] {
+						t.Fatalf("n=%d inputs=%v: outcome value %q never proposed", n, inputs, val)
+					}
+				}
+				// (b) coherence.
+				if len(committed) > 1 {
+					t.Fatalf("n=%d inputs=%v: contradictory commits %v", n, inputs, committed)
+				}
+				for val := range committed {
+					if len(outcomes) != 1 || !outcomes[val] {
+						t.Fatalf("n=%d inputs=%v: commit of %q alongside outcomes %v", n, inputs, val, outcomes)
+					}
+				}
+				// (a) unanimity: when everyone is done with equal
+				// inputs, everyone committed the input.
+				if unanimous && done == n {
+					if len(committed) != 1 || !committed[string(inputs[0])] {
+						t.Fatalf("n=%d inputs=%v: unanimous run ended without commit (outcomes %v)",
+							n, inputs, outcomes)
+					}
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatalf("n=%d inputs=%v: %v", n, inputs, err)
+			}
+		}
+	}
+}
+
+// TestAdoptCommitWaitFree: every process finishes in exactly its own 3-5
+// steps regardless of interleaving.
+func TestAdoptCommitWaitFree(t *testing.T) {
+	c := model.NewConfig(AdoptCommit{}, []model.Value{"0", "1", "1"})
+	// Fully interleave one step at a time; after 5 rounds everyone is done.
+	for round := 0; round < 5; round++ {
+		for pid := 0; pid < 3; pid++ {
+			c = c.StepDet(pid)
+		}
+	}
+	for pid := 0; pid < 3; pid++ {
+		if _, ok := c.Decided(pid); !ok {
+			t.Fatalf("p%d not finished after 5 own steps", pid)
+		}
+	}
+}
+
+// TestAdoptCommitSoloCommits: a solo run always commits its own proposal.
+func TestAdoptCommitSoloCommits(t *testing.T) {
+	for _, v := range []model.Value{"0", "1"} {
+		c := model.NewConfig(AdoptCommit{}, []model.Value{v, opposite(v)})
+		for i := 0; i < 6; i++ {
+			c = c.StepDet(0)
+		}
+		out, ok := c.Decided(0)
+		if !ok {
+			t.Fatal("solo run did not finish")
+		}
+		commit, val := acOutcome(out)
+		if !commit || val != string(v) {
+			t.Fatalf("solo outcome %q, want commit of %s", string(out), string(v))
+		}
+	}
+}

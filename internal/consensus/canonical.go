@@ -1,0 +1,160 @@
+package consensus
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// CanonicalKey returns a state identity for DiskRace configurations that
+// quotients away the absolute magnitude of ballot rounds, shrinking the
+// protocol's unbounded reachable space to a finite (though still large)
+// quotient for exhaustive search.
+//
+// The abstraction: collect every round number occurring anywhere in the
+// configuration (register blocks and local states) and renumber them
+// order-preservingly, anchoring the smallest positive round at 1 and capping
+// gaps at 2. Two configurations with the same canonical key are bisimilar
+// because every rule of DiskRace uses rounds only through
+//
+//   - the test "is this the null ballot" (round 0, preserved exactly),
+//   - lexicographic comparison of (round, pid) pairs (order is preserved,
+//     and pids are untouched), and
+//   - the successor round max+1 taken of a round present in the
+//     configuration (a gap of 1 — "r+1 collides with an existing round" —
+//     is preserved exactly, and any gap ≥ 2 — "r+1 falls strictly below the
+//     next round" — maps to a gap of exactly 2, which behaves identically
+//     under a single successor).
+//
+// No rule mentions an absolute round constant other than 0 (initial ballots
+// are minted once, before any steps), so anchoring at 1 is sound.
+// TestDiskRaceCanonicalBisimulation property-checks this argument by
+// shifting rounds of reachable configurations and running the shifted and
+// unshifted copies in lockstep.
+func (DiskRace) CanonicalKey(c model.Config) string {
+	// Collect the rounds present. A configuration of n processes holds at
+	// most 4n state rounds and 2n register rounds.
+	n := c.NumProcesses()
+	rounds := make([]int, 0, 6*n)
+	states := make([]diskState, n)
+	blocks := make([]diskBlock, c.NumRegisters())
+	for pid := 0; pid < n; pid++ {
+		s, ok := c.State(pid).(diskState)
+		if !ok {
+			// Not a DiskRace configuration; fall back to exact keys.
+			return c.Key()
+		}
+		states[pid] = s
+		rounds = append(rounds, s.ballot.K, s.ownBal.K, s.maxK, s.maxBal.K)
+	}
+	for r := 0; r < c.NumRegisters(); r++ {
+		blocks[r] = decodeBlock(c.Register(r))
+		rounds = append(rounds, blocks[r].Mbal.K, blocks[r].Bal.K)
+	}
+	remap := buildRoundRemap(rounds)
+
+	var b strings.Builder
+	b.Grow(32 * n)
+	for pid := range states {
+		states[pid].writeCanonicalKey(&b, remap)
+		b.WriteByte('\x1f')
+	}
+	b.WriteByte('\x1e')
+	for r := range blocks {
+		block := blocks[r]
+		block.Mbal.K = remap.apply(block.Mbal.K)
+		block.Bal.K = remap.apply(block.Bal.K)
+		b.WriteString(string(block.encode()))
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// roundRemap is an order-preserving, gap-capped renumbering of rounds,
+// represented as two parallel sorted slices (binary-search application).
+type roundRemap struct {
+	from []int
+	to   []int
+}
+
+func (m roundRemap) apply(k int) int {
+	if k == 0 {
+		return 0
+	}
+	i := sort.SearchInts(m.from, k)
+	return m.to[i]
+}
+
+// buildRoundRemap computes the renumbering for the given (unsorted,
+// duplicate-bearing) list of rounds.
+func buildRoundRemap(rounds []int) roundRemap {
+	sort.Ints(rounds)
+	from := rounds[:0]
+	prev := -1
+	for _, k := range rounds {
+		if k != prev {
+			from = append(from, k)
+			prev = k
+		}
+	}
+	if len(from) > 0 && from[0] == 0 {
+		from = from[1:]
+	}
+	to := make([]int, len(from))
+	prevK, mapped := 0, 0
+	for i, k := range from {
+		gap := k - prevK
+		switch {
+		case prevK == 0:
+			// Anchor: the smallest positive round maps to 1 (no
+			// rule takes the successor of round 0, so its distance
+			// from 0 is unobservable).
+			gap = 1
+		case gap > 2:
+			// A single successor cannot cross a gap of 2, so
+			// larger gaps are indistinguishable from 2.
+			gap = 2
+		}
+		mapped += gap
+		to[i] = mapped
+		prevK = k
+	}
+	return roundRemap{from: from, to: to}
+}
+
+// writeCanonicalKey is diskState.Key with rounds renumbered, written without
+// fmt for speed (canonicalisation dominates exhaustive-search CPU time).
+func (s diskState) writeCanonicalKey(b *strings.Builder, remap roundRemap) {
+	writeBallot := func(bal Ballot) {
+		b.WriteString(strconv.Itoa(remap.apply(bal.K)))
+		b.WriteByte('.')
+		b.WriteString(strconv.Itoa(bal.Pid))
+	}
+	b.WriteByte('D')
+	b.WriteString(strconv.Itoa(s.pid))
+	b.WriteByte('|')
+	b.WriteString(string(s.input))
+	b.WriteByte('|')
+	writeBallot(s.ballot)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(int(s.phase)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(s.idx))
+	b.WriteByte('|')
+	writeBallot(s.ownBal)
+	b.WriteByte('|')
+	b.WriteString(string(s.ownInp))
+	b.WriteByte('|')
+	b.WriteString(string(s.proposal))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(remap.apply(s.maxK)))
+	if s.aborting {
+		b.WriteByte('!')
+	}
+	b.WriteByte('|')
+	writeBallot(s.maxBal)
+	b.WriteByte('|')
+	b.WriteString(string(s.balInp))
+}

@@ -1,0 +1,61 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/model"
+)
+
+// TestCoinFloodAdversarialCoins exhaustively model-checks the naive
+// randomized protocol at n=2 over every interleaving AND every coin outcome
+// (the exploration branches on model.OpCoin). The checker must find the
+// agreement violation — adversarially resolved coins let a laggard push its
+// value over a decision — and the witness must actually contain an
+// adversary-chosen coin flip.
+func TestCoinFloodAdversarialCoins(t *testing.T) {
+	report, err := check.Consensus(CoinFlood{}, 2, check.Options{SkipSolo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("coinflood unexpectedly safe: the submissive-tie rule was load-bearing, a coin should not replace it")
+	}
+	v := report.Violations[0]
+	if v.Kind != check.Agreement {
+		t.Fatalf("violation kind %v, want agreement", v.Kind)
+	}
+	sawCoin := false
+	c := model.NewConfig(CoinFlood{}, v.Inputs)
+	for _, mv := range v.Path {
+		if c.State(mv.Pid).Pending().Kind == model.OpCoin {
+			sawCoin = true
+		}
+		c = model.RunPath(c, model.Path{mv})
+	}
+	if !sawCoin {
+		t.Fatal("violating execution contains no coin flip; the break is not coin-related")
+	}
+	t.Logf("caught (with adversarial coin): %v", v)
+}
+
+// TestCoinFloodCoinBranches pins that a mixed scan really is poised on a
+// coin and that both outcomes are legal continuations.
+func TestCoinFloodCoinBranches(t *testing.T) {
+	c := model.NewConfig(CoinFlood{}, []model.Value{"0", "1"})
+	// Engineer the mixed memory (0,1): p0's stale scan lets it write 0
+	// over p1's 1 in r0 while p1 is poised to stamp r1 with 1; p0's next
+	// scan then sees both values and must flip a coin.
+	c = model.Run(c, model.Schedule{0, 1, 1, 1, 1, 1, 0, 0, 1, 0, 0})
+	op := c.State(0).Pending()
+	if op.Kind != model.OpCoin {
+		t.Fatalf("p0 poised on %v, want coin()", op)
+	}
+	for _, outcome := range []model.Value{"0", "1"} {
+		d := c.Step(0, outcome)
+		next := d.State(0).Pending()
+		if next.Kind != model.OpWrite || next.Arg != outcome {
+			t.Fatalf("outcome %s: poised on %v, want write of the outcome", string(outcome), next)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package consensus provides binary consensus protocols expressed in the
+// internal/model framework, so that they can be exhaustively verified
+// (internal/check) and attacked by the covering/valency adversary
+// (internal/adversary).
+//
+// The paper's upper-bound landscape (Section 1) is: all existing randomized
+// wait-free and obstruction-free consensus protocols from registers use at
+// least n registers [AH90, AW96, BRS15, Zhu15], and the lower bound proved is
+// n-1. This package supplies:
+//
+//   - Flood: an n-register obstruction-free protocol in the style of the
+//     anonymous protocols of [BRS15, Zhu15] — processes flood their
+//     preference through an array of n registers, adopt the majority value
+//     they observe, and decide a value only after observing it in all n
+//     registers in a single scan. Its reachable state space is finite
+//     (register alphabet {⊥,0,1}), which is what makes exact valency
+//     computation and therefore the executable lower-bound proof possible.
+//
+//   - RoundRace: a round-based protocol in the style of [BRS15] with
+//     lexicographically ordered (round, value) pairs. Rounds grow without
+//     bound under contention, so the model version takes a round cap; it
+//     exists to exercise the checkers on an unbounded-space protocol and as
+//     the model twin of the native implementation in internal/native.
+//
+//   - EagerFlood and GreedyFlood: deliberately broken variants (decide on a
+//     near-complete scan; never adopt while your own value survives). The
+//     checker must catch their agreement violations; they guard against the
+//     verification machinery silently passing anything.
+//
+// All protocols here are deterministic, hence trivially "nondeterministic
+// solo terminating" in the paper's sense provided every solo run decides,
+// which internal/check verifies from every reachable configuration.
+package consensus

@@ -1,0 +1,118 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// TestFloodAgreementN2 exhaustively model-checks Flood at n=2: every binary
+// input vector, every interleaving, checking Agreement, Validity and solo
+// termination from every reachable configuration.
+func TestFloodAgreementN2(t *testing.T) {
+	report, err := check.Consensus(Flood{}, 2, check.Options{})
+	if err != nil {
+		t.Fatalf("n=2: %v", err)
+	}
+	if !report.OK() {
+		t.Fatalf("n=2: %v", report)
+	}
+	t.Logf("%v", report)
+}
+
+// TestFloodN3CoveringAttack documents that Flood — like every finite-
+// register-alphabet protocol we tried — loses Agreement at n=3: laggards
+// whose scans straddle a decision can erase all evidence of the decided
+// value and assemble clean unanimous scans of the other one. The checker
+// must find the counterexample; if this test ever fails, a finite-state
+// obstruction-free consensus protocol has been discovered and a paper should
+// be written instead.
+func TestFloodN3CoveringAttack(t *testing.T) {
+	report, err := check.Consensus(Flood{}, 3, check.Options{SkipSolo: true})
+	if err != nil {
+		t.Fatalf("n=3: %v", err)
+	}
+	if report.OK() {
+		t.Fatalf("expected an agreement violation at n=3, found none over %d configs", report.Configs)
+	}
+	v := report.Violations[0]
+	if v.Kind != check.Agreement {
+		t.Fatalf("expected an agreement violation, got %v", v)
+	}
+	t.Logf("counterexample (length %d): %v", len(v.Path), v)
+}
+
+// TestFloodSoloRun verifies the O(n²) solo decision bound claimed in the
+// Flood documentation.
+func TestFloodSoloRun(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		inputs := make([]model.Value, n)
+		for i := range inputs {
+			inputs[i] = "1"
+		}
+		c := model.NewConfig(Flood{}, inputs)
+		steps := 0
+		for {
+			if _, ok := c.Decided(0); ok {
+				break
+			}
+			if steps > 2*n*n+4*n+4 {
+				t.Fatalf("n=%d: no solo decision within %d steps", n, steps)
+			}
+			c = c.StepDet(0)
+			steps++
+		}
+		t.Logf("n=%d: solo decision in %d steps", n, steps)
+	}
+}
+
+// TestFloodRegisterAudit confirms Flood declares and touches exactly n
+// registers (the paper's upper bound).
+func TestFloodRegisterAudit(t *testing.T) {
+	n := 4
+	if got := (Flood{}).Registers(n); got != n {
+		t.Fatalf("Registers(%d) = %d, want %d", n, got, n)
+	}
+	inputs := []model.Value{"0", "1", "0", "1"}
+	c := model.NewConfig(Flood{}, inputs)
+	touched := map[int]bool{}
+	// A solo run by p0 then p3 touches every register via scans.
+	for _, pid := range []int{0, 3} {
+		for i := 0; i < 100; i++ {
+			op := c.State(pid).Pending()
+			if op.Kind == model.OpRead || op.Kind == model.OpWrite {
+				touched[op.Reg] = true
+			}
+			if op.Kind == model.OpDecide {
+				break
+			}
+			c = c.StepDet(pid)
+		}
+	}
+	if len(touched) != n {
+		t.Fatalf("touched %d registers, want %d", len(touched), n)
+	}
+}
+
+// TestFloodBivalentInitial reproduces Proposition 2 concretely for Flood:
+// from the mixed-input initial configuration, the full process set can still
+// decide either value.
+func TestFloodBivalentInitial(t *testing.T) {
+	c := model.NewConfig(Flood{}, []model.Value{"0", "1", "1"})
+	all := []int{0, 1, 2}
+	seen := map[model.Value]bool{}
+	res, err := explore.Reach(c, all, explore.Options{}, func(v explore.Visit) bool {
+		for val := range v.Config.DecidedValues() {
+			seen[val] = true
+		}
+		return !(seen["0"] && seen["1"])
+	})
+	if err != nil && !(seen["0"] && seen["1"]) {
+		t.Fatalf("explore: %v", err)
+	}
+	if !seen["0"] || !seen["1"] {
+		t.Fatalf("initial configuration not bivalent: decided %v (configs=%d)", seen, res.Count)
+	}
+}

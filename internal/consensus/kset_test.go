@@ -1,0 +1,117 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+func ksetOpts() explore.Options {
+	// Lane-local DiskRace instances still have unbounded ballots and the
+	// ballot canonicaliser does not see through the lane wrapper, so these
+	// are bounded checks: exhaustive up to the configuration budget.
+	return explore.Options{MaxConfigs: 100_000}
+}
+
+// TestKSetAtMostKValues model-checks 2-set agreement among 3 processes
+// exhaustively-within-bounds: never more than 2 distinct decisions.
+func TestKSetAtMostKValues(t *testing.T) {
+	report, err := check.KSet(KSet{K: 2}, 3, 2, check.Options{
+		Explore:  ksetOpts(),
+		SkipSolo: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("kset(2) n=3: %v", report)
+	}
+	t.Logf("%v", report)
+}
+
+// TestKSetConsensusDegenerate: K=1 is plain consensus and must pass the
+// (bounded) consensus checker at n=2 — it is DiskRace in one lane, behind
+// the wrapper that hides it from the ballot canonicaliser.
+func TestKSetConsensusDegenerate(t *testing.T) {
+	report, err := check.Consensus(KSet{K: 1}, 2, check.Options{
+		Explore:  ksetOpts(),
+		SkipSolo: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("kset(1) n=2: %v", report)
+	}
+}
+
+// TestKSetCanExceedConsensus demonstrates that 2-set agreement genuinely
+// allows two decisions: there is a reachable configuration of kset(2) with
+// two distinct decided values (so the consensus checker must reject it).
+func TestKSetCanExceedConsensus(t *testing.T) {
+	report, err := check.Consensus(KSet{K: 2}, 3, check.Options{
+		Explore:  ksetOpts(),
+		SkipSolo: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatal("kset(2) unexpectedly satisfies 1-agreement")
+	}
+	if report.Violations[0].Kind != check.Agreement {
+		t.Fatalf("violation: %v", report.Violations[0])
+	}
+}
+
+// TestKSetSoloTermination: each process decides alone from sampled
+// reachable configurations (obstruction freedom lane-wise).
+func TestKSetSoloTermination(t *testing.T) {
+	inputs := []model.Value{"0", "1", "1", "0", "1"}
+	c := model.NewConfig(KSet{K: 2}, inputs)
+	// Interleave a bit, then run each solo.
+	for i := 0; i < 40; i++ {
+		c = c.StepDet(i % 5)
+	}
+	for pid := 0; pid < 5; pid++ {
+		d := c
+		decided := false
+		for step := 0; step < 400; step++ {
+			if _, ok := d.Decided(pid); ok {
+				decided = true
+				break
+			}
+			d = d.StepDet(pid)
+		}
+		if !decided {
+			t.Fatalf("p%d does not decide solo", pid)
+		}
+	}
+}
+
+// TestKSetRegisterLayout checks the lane register blocks tile [0,n).
+func TestKSetRegisterLayout(t *testing.T) {
+	n, k := 7, 3
+	seen := map[int]int{}
+	for pid := 0; pid < n; pid++ {
+		size, idx, off := lanePlacement(n, k, pid)
+		if idx < 0 || idx >= size {
+			t.Fatalf("pid %d: index %d outside lane of size %d", pid, idx, size)
+		}
+		reg := off + idx
+		if prev, dup := seen[reg]; dup {
+			t.Fatalf("pid %d and pid %d share own-register %d", prev, pid, reg)
+		}
+		seen[reg] = pid
+	}
+	if len(seen) != n {
+		t.Fatalf("%d own-registers for %d processes", len(seen), n)
+	}
+	for reg := range seen {
+		if reg < 0 || reg >= n {
+			t.Fatalf("register %d outside [0,%d)", reg, n)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// GreedyFlood is Flood with strict-majority adoption instead of submissive
+// ties. It violates Agreement already at n=2: a laggard holding a stale
+// covering write obliterates a decided value, observes a tie, and pushes its
+// own value through. It exists so the checker has a known-broken protocol to
+// catch (TestGreedyFloodIsBroken).
+type GreedyFlood struct{}
+
+var _ model.Machine = GreedyFlood{}
+
+// Name implements model.Machine.
+func (GreedyFlood) Name() string { return "greedyflood" }
+
+// Registers implements model.Machine.
+func (GreedyFlood) Registers(n int) int { return n }
+
+// Init implements model.Machine.
+func (GreedyFlood) Init(n, pid int, input model.Value) model.State {
+	if input != "0" && input != "1" {
+		panic(fmt.Sprintf("greedyflood: input must be binary, got %q", string(input)))
+	}
+	rules := floodRules{name: "G", submissiveTies: false, doubleCollect: true}
+	return floodState{rules: rules, n: n, pref: input, phase: floodScan}
+}
+
+// EagerFlood is Flood without the double collect: it decides on the first
+// unanimous scan. It violates Agreement at n=3 (a unanimous scan can be
+// assembled from different epochs while the opposite value is flooded
+// concurrently); n=2 is exhaustively clean. It exists as a second
+// known-broken protocol for the checker (TestEagerFloodIsBroken).
+type EagerFlood struct{}
+
+var _ model.Machine = EagerFlood{}
+
+// Name implements model.Machine.
+func (EagerFlood) Name() string { return "eagerflood" }
+
+// Registers implements model.Machine.
+func (EagerFlood) Registers(n int) int { return n }
+
+// Init implements model.Machine.
+func (EagerFlood) Init(n, pid int, input model.Value) model.State {
+	if input != "0" && input != "1" {
+		panic(fmt.Sprintf("eagerflood: input must be binary, got %q", string(input)))
+	}
+	rules := floodRules{name: "E", submissiveTies: true, doubleCollect: false}
+	return floodState{rules: rules, n: n, pref: input, phase: floodScan}
+}

@@ -1,0 +1,47 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/check"
+)
+
+// TestGreedyFloodIsBroken verifies the checker catches the strict-majority
+// adoption bug at n=2: a stale covering write obliterates the decided value
+// and the tie-breaking laggard pushes its own value through.
+func TestGreedyFloodIsBroken(t *testing.T) {
+	report, err := check.Consensus(GreedyFlood{}, 2, check.Options{SkipSolo: true})
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if report.OK() {
+		t.Fatal("expected greedyflood to violate agreement at n=2")
+	}
+	if got := report.Violations[0].Kind; got != check.Agreement {
+		t.Fatalf("violation kind = %v, want agreement", got)
+	}
+	t.Logf("caught: %v", report.Violations[0])
+}
+
+// TestEagerFloodIsBroken verifies the checker catches single-scan deciding
+// at n=3 (unanimous scans assembled across epochs), while n=2 is clean.
+func TestEagerFloodIsBroken(t *testing.T) {
+	clean, err := check.Consensus(EagerFlood{}, 2, check.Options{})
+	if err != nil {
+		t.Fatalf("n=2 check: %v", err)
+	}
+	if !clean.OK() {
+		t.Fatalf("eagerflood unexpectedly broken at n=2: %v", clean)
+	}
+	report, err := check.Consensus(EagerFlood{}, 3, check.Options{SkipSolo: true})
+	if err != nil {
+		t.Fatalf("n=3 check: %v", err)
+	}
+	if report.OK() {
+		t.Fatal("expected eagerflood to violate agreement at n=3")
+	}
+	if got := report.Violations[0].Kind; got != check.Agreement {
+		t.Fatalf("violation kind = %v, want agreement", got)
+	}
+	t.Logf("caught: %v", report.Violations[0])
+}

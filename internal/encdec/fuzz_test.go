@@ -1,0 +1,76 @@
+package encdec
+
+import (
+	"testing"
+)
+
+// FuzzLehmerRoundTrip exercises the permutation codec with fuzzed inputs:
+// any permutation must round-trip bit-exactly, and corrupt bit strings must
+// be rejected or decode to a valid permutation (never panic).
+func FuzzLehmerRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{3, 1, 0, 2, 4})
+	f.Add([]byte{1, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 20 {
+			t.Skip()
+		}
+		// Interpret the bytes as a candidate permutation.
+		perm := make([]int, len(raw))
+		for i, b := range raw {
+			perm[i] = int(b)
+		}
+		bits, _, err := EncodePermutation(perm)
+		if err != nil {
+			return // not a permutation; rejection is correct
+		}
+		back, err := DecodePermutation(bits, len(perm))
+		if err != nil {
+			t.Fatalf("decode of freshly encoded permutation failed: %v", err)
+		}
+		for i := range perm {
+			if back[i] != perm[i] {
+				t.Fatalf("round trip %v -> %v", perm, back)
+			}
+		}
+	})
+}
+
+// FuzzDecodeRobustness feeds arbitrary bytes to the decoder: it must never
+// panic, and anything it accepts must re-encode to an equivalent prefix.
+func FuzzDecodeRobustness(f *testing.F) {
+	f.Add([]byte{0x00}, 3)
+	f.Add([]byte{0xff, 0x13}, 5)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 1 || n > 16 || len(data) > 8 {
+			t.Skip()
+		}
+		perm, err := DecodePermutation(data, n)
+		if err != nil {
+			return
+		}
+		bits, _, err := EncodePermutation(perm)
+		if err != nil {
+			t.Fatalf("decoder produced a non-permutation %v: %v", perm, err)
+		}
+		back, err := DecodePermutation(bits, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(perm, back) {
+			t.Fatalf("re-encode mismatch: %v vs %v", perm, back)
+		}
+	})
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,235 @@
+// Package explore provides bounded-exhaustive exploration of the
+// configuration space of a protocol expressed in the internal/model
+// framework. It is the computational engine behind the valency oracle
+// (internal/valency) and the protocol checkers (internal/check).
+//
+// The paper's arguments quantify over "P-only executions from C". For the
+// protocols this repository attacks, the set of configurations reachable by
+// P-only executions is finite modulo the protocol's canonicalisation (see
+// Options.KeyFn), so breadth-first search decides those quantifiers
+// exactly. Caps guard against unbounded spaces: when a cap binds, the
+// search reports it explicitly instead of silently returning partial truth.
+//
+// The search is built for tens of millions of configurations on a single
+// machine: the visited set holds only 128-bit FNV fingerprints of canonical
+// keys (a false merge needs a fingerprint collision; for 10^8 states the
+// probability is below 10^-21), nodes retain only a parent index and the
+// connecting move for witness-path reconstruction, and full configurations
+// live only on the BFS frontier. Callers inspect configurations in the
+// visit callback, while they are transiently available.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/model"
+)
+
+// ErrCapped is returned (wrapped) when exploration hits a configured cap
+// before exhausting the reachable space. Results derived from a capped
+// exploration are not sound for "for all executions" claims.
+var ErrCapped = errors.New("exploration capped before exhausting state space")
+
+// Options bound an exploration. The zero value means "use defaults".
+type Options struct {
+	// MaxConfigs caps the number of distinct configurations visited.
+	// Zero means DefaultMaxConfigs.
+	MaxConfigs int
+	// MaxDepth caps the BFS depth (schedule length). Zero means no cap.
+	MaxDepth int
+	// KeyFn, when non-nil, replaces Config.Key as the state identity used
+	// for deduplication. Protocols with unbounded-but-symmetric state
+	// (e.g. DiskRace's ballots) supply a canonicalising key that quotients
+	// the space by a bisimulation, making exhaustive search terminate.
+	// The function must identify only behaviourally equivalent
+	// configurations; consensus.TestDiskRaceCanonicalBisimulation is the
+	// guard for the one canonicaliser this repository ships.
+	KeyFn func(model.Config) string
+}
+
+// ConfigKey returns the state identity of c under these options.
+func (o Options) ConfigKey(c model.Config) string {
+	if o.KeyFn != nil {
+		return o.KeyFn(c)
+	}
+	return c.Key()
+}
+
+// DefaultMaxConfigs is the visited-configuration cap used when
+// Options.MaxConfigs is zero. It is sized so that a runaway exploration
+// fails in minutes, not hours; experiments that need more raise it
+// explicitly.
+const DefaultMaxConfigs = 1 << 21
+
+func (o Options) maxConfigs() int {
+	if o.MaxConfigs <= 0 {
+		return DefaultMaxConfigs
+	}
+	return o.MaxConfigs
+}
+
+// fingerprint is a 128-bit FNV-1a digest of a canonical configuration key.
+type fingerprint [2]uint64
+
+func fingerprintOf(key string) fingerprint {
+	h := fnv.New128a()
+	_, _ = h.Write([]byte(key))
+	var sum [16]byte
+	h.Sum(sum[:0])
+	var fp fingerprint
+	for i := 0; i < 8; i++ {
+		fp[0] = fp[0]<<8 | uint64(sum[i])
+		fp[1] = fp[1]<<8 | uint64(sum[8+i])
+	}
+	return fp
+}
+
+// node is the retained per-state record: enough to reconstruct the witness
+// path, nothing more.
+type node struct {
+	parent int32
+	depth  int32
+	via    model.Move
+}
+
+// Visit is the information handed to the visit callback for each distinct
+// configuration, in BFS order. Config is only guaranteed valid during the
+// callback (the frontier is released as the search advances); ID is stable
+// and can be passed to Result.PathTo afterwards.
+type Visit struct {
+	Config model.Config
+	ID     int
+	Depth  int
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// Count is the number of distinct configurations visited.
+	Count int
+	// Capped reports whether a cap stopped the search early.
+	Capped bool
+	// Steps counts state transitions examined (for reporting).
+	Steps int
+
+	nodes []node
+}
+
+// PathTo reconstructs the move sequence from the root to the visited
+// configuration with the given ID. The boolean is false for out-of-range
+// IDs.
+func (r *Result) PathTo(id int) (model.Path, bool) {
+	if id < 0 || id >= len(r.nodes) {
+		return nil, false
+	}
+	var rev model.Path
+	for id != 0 {
+		n := r.nodes[id]
+		rev = append(rev, n.via)
+		id = int(n.parent)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// Moves enumerates the moves available to the processes in p at
+// configuration c: one move per non-decided process, except that a process
+// poised on a coin flip contributes one move per outcome. Decided processes
+// take no steps (their next "step" would be a no-op self-loop).
+func Moves(c model.Config, p []int) []model.Move {
+	moves := make([]model.Move, 0, len(p)+2)
+	for _, pid := range p {
+		switch c.State(pid).Pending().Kind {
+		case model.OpDecide:
+			// Terminated; contributes no transitions.
+		case model.OpCoin:
+			moves = append(moves,
+				model.Move{Pid: pid, Coin: "0"},
+				model.Move{Pid: pid, Coin: "1"},
+			)
+		default:
+			moves = append(moves, model.Move{Pid: pid})
+		}
+	}
+	return moves
+}
+
+// Apply performs the move on c.
+func Apply(c model.Config, m model.Move) model.Config {
+	if c.State(m.Pid).Pending().Kind == model.OpCoin {
+		return c.Step(m.Pid, m.Coin)
+	}
+	return c.StepDet(m.Pid)
+}
+
+// Reach explores every configuration reachable from c by executions
+// containing only steps of processes in p (a "P-only" exploration). The
+// visit callback, if non-nil, is invoked once per distinct configuration in
+// BFS order and may return false to stop the search early (the result is
+// then marked Capped, since the space was not exhausted).
+func Reach(c model.Config, p []int, opts Options, visit func(Visit) bool) (*Result, error) {
+	res := &Result{}
+	maxConfigs := opts.maxConfigs()
+
+	visited := make(map[fingerprint]struct{}, 1024)
+	visited[fingerprintOf(opts.ConfigKey(c))] = struct{}{}
+	res.nodes = append(res.nodes, node{parent: 0})
+	res.Count = 1
+	if visit != nil && !visit(Visit{Config: c, ID: 0, Depth: 0}) {
+		res.Capped = true
+		return res, fmt.Errorf("reach from %d procs: %w", len(p), ErrCapped)
+	}
+
+	type frontierEntry struct {
+		cfg model.Config
+		id  int32
+	}
+	queue := []frontierEntry{{cfg: c, id: 0}}
+	head := 0
+	for head < len(queue) {
+		cur := queue[head]
+		// Release the consumed entry so its configuration can be
+		// collected, and compact the backing array periodically.
+		queue[head] = frontierEntry{}
+		head++
+		if head > 65536 && head*2 > len(queue) {
+			queue = append([]frontierEntry(nil), queue[head:]...)
+			head = 0
+		}
+		depth := res.nodes[cur.id].depth
+		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
+			// Children beyond the depth cap are not expanded; the
+			// space was not exhausted.
+			res.Capped = true
+			continue
+		}
+		for _, m := range Moves(cur.cfg, p) {
+			res.Steps++
+			next := Apply(cur.cfg, m)
+			fp := fingerprintOf(opts.ConfigKey(next))
+			if _, seen := visited[fp]; seen {
+				continue
+			}
+			visited[fp] = struct{}{}
+			id := int32(len(res.nodes))
+			res.nodes = append(res.nodes, node{parent: cur.id, depth: depth + 1, via: m})
+			res.Count++
+			if visit != nil && !visit(Visit{Config: next, ID: int(id), Depth: int(depth + 1)}) {
+				res.Capped = true
+				return res, fmt.Errorf("reach visit stop: %w", ErrCapped)
+			}
+			if res.Count >= maxConfigs {
+				res.Capped = true
+				return res, fmt.Errorf("reach hit %d configs: %w", maxConfigs, ErrCapped)
+			}
+			queue = append(queue, frontierEntry{cfg: next, id: id})
+		}
+	}
+	if res.Capped {
+		return res, fmt.Errorf("reach depth-capped at %d: %w", opts.MaxDepth, ErrCapped)
+	}
+	return res, nil
+}

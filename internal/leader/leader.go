@@ -1,0 +1,115 @@
+// Package leader implements weak leader election, the contrast point of the
+// paper's Section 1: electing a leader — where each process only needs to
+// know whether it won — is provably cheaper in space than consensus
+// (Giakkoupis, Helmi, Higham, Woelfel: O(√n), later O(log n) registers),
+// while consensus needs n-1. This package provides
+//
+//   - Splitter: the Moir-Anderson splitter, the 2-register contention
+//     filter underlying the sub-linear constructions (at most one process
+//     stops; a process running alone stops), and
+//
+//   - Election: obstruction-free leader election by consensus on process
+//     ids over internal/native's DiskRace — n registers, the baseline whose
+//     space the sub-linear constructions beat and which experiment E8
+//     tabulates against the consensus lower bound.
+//
+// Deterministic wait-free leader election from registers is impossible
+// (test-and-set has consensus number 2), so obstruction freedom with
+// randomized backoff is the strongest liveness on offer here, exactly as
+// for consensus itself.
+package leader
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/native"
+)
+
+// Outcome is the result of visiting a splitter.
+type Outcome uint8
+
+const (
+	// Stop: the process captured the splitter (at most one per splitter).
+	Stop Outcome = iota + 1
+	// Right and Down: deflected; in grid/chain constructions these pick
+	// the next splitter to visit.
+	Right
+	Down
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Stop:
+		return "stop"
+	case Right:
+		return "right"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Splitter is the Moir-Anderson splitter from one pid register and one
+// boolean register: of the processes that enter, at most one stops, not all
+// go right, and not all go down; a process running alone stops.
+type Splitter struct {
+	x atomic.Int64
+	y atomic.Bool
+}
+
+// NewSplitter returns an open splitter.
+func NewSplitter() *Splitter {
+	s := &Splitter{}
+	s.x.Store(-1)
+	return s
+}
+
+// Visit runs the splitter for the given process id (ids must be ≥ 0).
+func (s *Splitter) Visit(pid int) Outcome {
+	s.x.Store(int64(pid))
+	if s.y.Load() {
+		return Right
+	}
+	s.y.Store(true)
+	if s.x.Load() == int64(pid) {
+		return Stop
+	}
+	return Down
+}
+
+// Election is weak leader election over consensus on process identifiers:
+// a native.Multivalued instance agrees on a participant's id (the
+// announce-and-agree-bitwise reduction guarantees the winner actually
+// participated), and each process compares the outcome with its own id.
+type Election struct {
+	n     int
+	inner *native.Multivalued
+}
+
+// NewElection returns an election object for n processes.
+func NewElection(n int) *Election {
+	return &Election{n: n, inner: native.NewMultivalued(n, n)}
+}
+
+// Run participates as process pid and reports whether pid is the leader.
+// Exactly one participant observes true once all participants return.
+func (e *Election) Run(pid int) (bool, error) {
+	if pid < 0 || pid >= e.n {
+		return false, fmt.Errorf("leader: pid %d out of range [0,%d)", pid, e.n)
+	}
+	winner, err := e.inner.Propose(pid, pid)
+	if err != nil {
+		return false, fmt.Errorf("leader: %w", err)
+	}
+	return winner == pid, nil
+}
+
+// Registers reports the total number of registers the election writes —
+// the quantity experiment E8 compares against consensus (n + n·⌈log₂ n⌉
+// here versus the O(log n) of GHHW's specialised construction).
+func (e *Election) Registers() int {
+	return e.inner.Registers()
+}

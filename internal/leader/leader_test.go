@@ -1,0 +1,127 @@
+package leader
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSplitterSolo: a process running alone stops.
+func TestSplitterSolo(t *testing.T) {
+	s := NewSplitter()
+	if got := s.Visit(3); got != Stop {
+		t.Fatalf("solo visit = %v, want stop", got)
+	}
+	// A later visitor cannot stop too.
+	if got := s.Visit(4); got == Stop {
+		t.Fatal("second visitor also stopped")
+	}
+}
+
+// TestSplitterAtMostOneStop hammers a splitter with concurrent visitors
+// across many trials: at most one may stop, and deflections must include
+// both directions only when contention actually splits.
+func TestSplitterAtMostOneStop(t *testing.T) {
+	for trial := 0; trial < 500; trial++ {
+		s := NewSplitter()
+		const procs = 6
+		outcomes := make([]Outcome, procs)
+		var wg sync.WaitGroup
+		for pid := 0; pid < procs; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				outcomes[pid] = s.Visit(pid)
+			}(pid)
+		}
+		wg.Wait()
+		stops, rights, downs := 0, 0, 0
+		for _, o := range outcomes {
+			switch o {
+			case Stop:
+				stops++
+			case Right:
+				rights++
+			case Down:
+				downs++
+			}
+		}
+		if stops > 1 {
+			t.Fatalf("trial %d: %d processes stopped: %v", trial, stops, outcomes)
+		}
+		if rights == procs {
+			t.Fatalf("trial %d: all processes went right", trial)
+		}
+		if downs == procs {
+			t.Fatalf("trial %d: all processes went down", trial)
+		}
+	}
+}
+
+// TestElectionExactlyOneLeader is experiment E8's core property across
+// sizes and repeated trials.
+func TestElectionExactlyOneLeader(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9, 16} {
+		for trial := 0; trial < 15; trial++ {
+			e := NewElection(n)
+			leaders := make([]bool, n)
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					won, err := e.Run(pid)
+					if err != nil {
+						t.Errorf("n=%d p%d: %v", n, pid, err)
+						return
+					}
+					leaders[pid] = won
+				}(pid)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			count := 0
+			for _, won := range leaders {
+				if won {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("n=%d trial=%d: %d leaders: %v", n, trial, count, leaders)
+			}
+		}
+	}
+}
+
+// TestElectionRegisterCount records the space used (the E8 contrast: linear
+// in n times log n here, versus O(log n) for the specialised constructions
+// and n-1 minimum for full consensus).
+func TestElectionRegisterCount(t *testing.T) {
+	n := 8
+	e := NewElection(n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			if _, err := e.Run(pid); err != nil {
+				t.Errorf("p%d: %v", pid, err)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	got := e.Registers()
+	if got < n {
+		t.Fatalf("registers = %d, want at least n=%d", got, n)
+	}
+	t.Logf("election registers used: %d (n=%d)", got, n)
+}
+
+// TestElectionRejectsBadPid covers the error path.
+func TestElectionRejectsBadPid(t *testing.T) {
+	e := NewElection(3)
+	if _, err := e.Run(3); err == nil {
+		t.Fatal("expected error for out-of-range pid")
+	}
+}

@@ -1,0 +1,195 @@
+// Package linearize provides a Wing-Gong style linearizability checker for
+// concurrent histories, plus a recorder for collecting them from live runs.
+// It verifies the native substrate objects (registers, snapshots, counters)
+// that the protocol implementations are built on: the abstract model takes
+// register atomicity as an axiom, and this package is what entitles the
+// native benchmarks to the same assumption.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is one completed operation in a concurrent history. Call and Return
+// are timestamps from a single logical clock: Call < Return, and operations
+// of one process do not overlap.
+type Op struct {
+	Proc   int
+	Call   int64
+	Return int64
+	Method string
+	Arg    string
+	Res    string
+}
+
+// String renders the op compactly.
+func (o Op) String() string {
+	return fmt.Sprintf("p%d:[%d,%d] %s(%s)=%s", o.Proc, o.Call, o.Return, o.Method, o.Arg, o.Res)
+}
+
+// Spec is a sequential specification. Apply runs one operation against a
+// sequential state: it returns the next state and whether the operation's
+// recorded result matches what the sequential object would return. Key
+// canonicalises states for memoisation.
+type Spec[S any] struct {
+	Init  S
+	Apply func(S, Op) (S, bool)
+	Key   func(S) string
+}
+
+// Check reports whether the history is linearizable with respect to the
+// specification, i.e. whether there is a total order of the operations,
+// consistent with the happens-before order induced by the timestamps, under
+// which every operation returns its sequential result. Histories are capped
+// at 64 operations (the search uses a bitmask); longer histories should be
+// checked in windows.
+func Check[S any](spec Spec[S], history []Op) (bool, error) {
+	if len(history) > 64 {
+		return false, fmt.Errorf("linearize: history has %d ops, cap is 64", len(history))
+	}
+	ops := append([]Op{}, history...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+	memo := make(map[string]bool)
+	return search(spec, ops, 0, spec.Init, memo), nil
+}
+
+// search tries to linearize the unchosen operations (bitmask done) from
+// sequential state s. An operation is a candidate if no unchosen operation
+// returned before it was called (otherwise that operation must come first).
+func search[S any](spec Spec[S], ops []Op, done uint64, s S, memo map[string]bool) bool {
+	if done == (uint64(1)<<len(ops))-1 {
+		return true
+	}
+	key := strconv.FormatUint(done, 16) + "|" + spec.Key(s)
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	// minReturn over unchosen ops: anything called after it cannot be next.
+	minReturn := int64(1 << 62)
+	for i, op := range ops {
+		if done&(1<<i) == 0 && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+	ok := false
+	for i, op := range ops {
+		if done&(1<<i) != 0 || op.Call > minReturn {
+			continue
+		}
+		next, match := spec.Apply(s, op)
+		if !match {
+			continue
+		}
+		if search(spec, ops, done|1<<i, next, memo) {
+			ok = true
+			break
+		}
+	}
+	memo[key] = ok
+	return ok
+}
+
+// Recorder collects a concurrent history with a global logical clock. It is
+// safe for concurrent use.
+type Recorder struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op
+}
+
+// Invoke starts an operation and returns a token to complete it with.
+func (r *Recorder) Invoke(proc int, method, arg string) PendingOp {
+	return PendingOp{r: r, op: Op{Proc: proc, Call: r.clock.Add(1), Method: method, Arg: arg}}
+}
+
+// PendingOp is an invoked-but-unfinished operation.
+type PendingOp struct {
+	r  *Recorder
+	op Op
+}
+
+// Done completes the operation with its result.
+func (p PendingOp) Done(res string) {
+	p.op.Return = p.r.clock.Add(1)
+	p.op.Res = res
+	p.r.mu.Lock()
+	defer p.r.mu.Unlock()
+	p.r.ops = append(p.r.ops, p.op)
+}
+
+// History returns the completed operations recorded so far.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op{}, r.ops...)
+}
+
+// CounterSpec is the sequential specification of a counter with Inc (adds
+// one, returns nothing) and Read (returns the count).
+func CounterSpec() Spec[int64] {
+	return Spec[int64]{
+		Init: 0,
+		Apply: func(s int64, op Op) (int64, bool) {
+			switch op.Method {
+			case "inc":
+				return s + 1, true
+			case "read":
+				return s, op.Res == strconv.FormatInt(s, 10)
+			default:
+				return s, false
+			}
+		},
+		Key: func(s int64) string { return strconv.FormatInt(s, 10) },
+	}
+}
+
+// RegisterSpec is the sequential specification of a single int register.
+func RegisterSpec() Spec[string] {
+	return Spec[string]{
+		Init: "0",
+		Apply: func(s string, op Op) (string, bool) {
+			switch op.Method {
+			case "write":
+				return op.Arg, true
+			case "read":
+				return s, op.Res == s
+			default:
+				return s, false
+			}
+		},
+		Key: func(s string) string { return s },
+	}
+}
+
+// SnapshotSpec is the sequential specification of an n-segment single-writer
+// snapshot: update(i=v) sets segment i (Arg "i=v"), scan returns all
+// segments joined by commas.
+func SnapshotSpec(n int) Spec[string] {
+	zero := strings.TrimSuffix(strings.Repeat("0,", n), ",")
+	return Spec[string]{
+		Init: zero,
+		Apply: func(s string, op Op) (string, bool) {
+			switch op.Method {
+			case "update":
+				parts := strings.SplitN(op.Arg, "=", 2)
+				idx, err := strconv.Atoi(parts[0])
+				if err != nil || idx < 0 || idx >= n {
+					return s, false
+				}
+				segs := strings.Split(s, ",")
+				segs[idx] = parts[1]
+				return strings.Join(segs, ","), true
+			case "scan":
+				return s, op.Res == s
+			default:
+				return s, false
+			}
+		},
+		Key: func(s string) string { return s },
+	}
+}

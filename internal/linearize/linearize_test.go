@@ -1,0 +1,122 @@
+package linearize
+
+import (
+	"strconv"
+	"testing"
+)
+
+func op(proc int, call, ret int64, method, arg, res string) Op {
+	return Op{Proc: proc, Call: call, Return: ret, Method: method, Arg: arg, Res: res}
+}
+
+// TestCheckRegisterBasics exercises the checker on hand-built register
+// histories with known verdicts.
+func TestCheckRegisterBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		hist []Op
+		want bool
+	}{
+		{"empty", nil, true},
+		{"sequential write then read", []Op{
+			op(0, 1, 2, "write", "5", ""),
+			op(1, 3, 4, "read", "", "5"),
+		}, true},
+		{"stale read after write", []Op{
+			op(0, 1, 2, "write", "5", ""),
+			op(1, 3, 4, "read", "", "0"),
+		}, false},
+		{"concurrent write/read may see either", []Op{
+			op(0, 1, 4, "write", "5", ""),
+			op(1, 2, 3, "read", "", "0"),
+		}, true},
+		{"read order violation", []Op{
+			op(0, 1, 2, "write", "1", ""),
+			op(0, 5, 6, "write", "2", ""),
+			op(1, 7, 8, "read", "", "2"),
+			op(2, 9, 10, "read", "", "1"),
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Check(RegisterSpec(), tc.hist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("Check = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckCounter verifies counter histories, including a lost update.
+func TestCheckCounter(t *testing.T) {
+	good := []Op{
+		op(0, 1, 2, "inc", "", ""),
+		op(1, 1, 3, "inc", "", ""),
+		op(2, 4, 5, "read", "", "2"),
+	}
+	if ok, _ := Check(CounterSpec(), good); !ok {
+		t.Fatal("valid counter history rejected")
+	}
+	lost := []Op{
+		op(0, 1, 2, "inc", "", ""),
+		op(1, 3, 4, "inc", "", ""),
+		op(2, 5, 6, "read", "", "1"), // lost an increment
+	}
+	if ok, _ := Check(CounterSpec(), lost); ok {
+		t.Fatal("lost-update history accepted")
+	}
+}
+
+// TestCheckSnapshot verifies snapshot histories, including a forbidden
+// "new-old inversion" between two scans.
+func TestCheckSnapshot(t *testing.T) {
+	good := []Op{
+		op(0, 1, 2, "update", "0=7", ""),
+		op(1, 3, 4, "scan", "", "7,0,0"),
+	}
+	if ok, _ := Check(SnapshotSpec(3), good); !ok {
+		t.Fatal("valid snapshot history rejected")
+	}
+	inversion := []Op{
+		op(0, 1, 2, "update", "0=7", ""),
+		op(1, 3, 4, "scan", "", "7,0,0"),
+		op(1, 5, 6, "scan", "", "0,0,0"), // older view after newer
+	}
+	if ok, _ := Check(SnapshotSpec(3), inversion); ok {
+		t.Fatal("new-old inversion accepted")
+	}
+}
+
+// TestCheckCap enforces the 64-op bitmask limit.
+func TestCheckCap(t *testing.T) {
+	hist := make([]Op, 65)
+	for i := range hist {
+		hist[i] = op(0, int64(2*i+1), int64(2*i+2), "inc", "", "")
+	}
+	if _, err := Check(CounterSpec(), hist); err == nil {
+		t.Fatal("expected cap error for 65-op history")
+	}
+}
+
+// TestRecorderClock checks that recorded timestamps are strictly ordered
+// per operation and unique across the history.
+func TestRecorderClock(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 10; i++ {
+		p := r.Invoke(i%3, "inc", "")
+		p.Done(strconv.Itoa(i))
+	}
+	seen := map[int64]bool{}
+	for _, o := range r.History() {
+		if o.Call >= o.Return {
+			t.Fatalf("bad timestamps: %v", o)
+		}
+		if seen[o.Call] || seen[o.Return] {
+			t.Fatalf("duplicate timestamp: %v", o)
+		}
+		seen[o.Call], seen[o.Return] = true, true
+	}
+}

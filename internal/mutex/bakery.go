@@ -1,0 +1,58 @@
+package mutex
+
+// Bakery is Lamport's bakery algorithm: the classic first-come-first-served
+// mutual exclusion from single-writer registers. A process picks a ticket
+// one above every ticket it sees, then waits out every process that is
+// still choosing or holds a smaller (ticket, id) pair. It completes the
+// deck's part II line-up: Peterson (the listed example), the tournament
+// (the n log n shape) and bakery (the FCFS classic) measured side by side
+// in the state-change cost model.
+//
+// Register layout: choosing[0..n-1] then number[0..n-1].
+type Bakery struct{}
+
+// Name implements Algorithm.
+func (Bakery) Name() string { return "bakery" }
+
+// Registers implements Algorithm.
+func (Bakery) Registers(n int) int { return 2 * n }
+
+// Run implements Algorithm.
+func (Bakery) Run(m *Memory, pid int) {
+	n := m.N()
+	choosing := func(i int) int { return i }
+	number := func(i int) int { return n + i }
+
+	// Doorway: pick a ticket greater than everything visible.
+	m.Write(pid, choosing(pid), 1)
+	var maxTicket int64
+	for j := 0; j < n; j++ {
+		if t := m.Read(pid, number(j)); t > maxTicket {
+			maxTicket = t
+		}
+	}
+	m.Write(pid, number(pid), maxTicket+1)
+	m.Write(pid, choosing(pid), 0)
+
+	// Wait out everyone with priority.
+	for j := 0; j < n; j++ {
+		if j == pid {
+			continue
+		}
+		for m.Read(pid, choosing(j)) == 1 {
+		}
+		for {
+			t := m.Read(pid, number(j))
+			if t == 0 {
+				break
+			}
+			mine := m.Read(pid, number(pid))
+			if t > mine || (t == mine && j > pid) {
+				break
+			}
+		}
+	}
+
+	m.CS(pid)
+	m.Write(pid, number(pid), 0)
+}

@@ -1,0 +1,231 @@
+package mutex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Random returns a seeded random schedule (for safety fuzzing).
+func Random(seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	return func(runnable []bool, _ int) int {
+		for {
+			pid := rng.Intn(len(runnable))
+			if runnable[pid] {
+				return pid
+			}
+		}
+	}
+}
+
+// TestMutualExclusionSafety drives both algorithms under round-robin,
+// sequential and many random schedules; the simulator flags any two
+// processes in the critical section simultaneously.
+func TestMutualExclusionSafety(t *testing.T) {
+	algs := []Algorithm{Peterson{}, Tournament{}}
+	for _, alg := range algs {
+		for _, n := range []int{2, 3, 4, 7, 8} {
+			if _, err := Run(alg, n, RoundRobin()); err != nil {
+				t.Fatalf("%s n=%d round-robin: %v", alg.Name(), n, err)
+			}
+			if _, err := Run(alg, n, Sequential()); err != nil {
+				t.Fatalf("%s n=%d sequential: %v", alg.Name(), n, err)
+			}
+			for seed := int64(0); seed < 25; seed++ {
+				if _, err := Run(alg, n, Random(seed)); err != nil {
+					t.Fatalf("%s n=%d random(%d): %v", alg.Name(), n, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalEntryCount checks every process enters exactly once.
+func TestCanonicalEntryCount(t *testing.T) {
+	res, err := Run(Tournament{}, 8, RoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, pid := range res.Order {
+		if seen[pid] {
+			t.Fatalf("p%d entered the CS twice: %v", pid, res.Order)
+		}
+		seen[pid] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("%d distinct entrants, want 8", len(seen))
+	}
+}
+
+// TestCostGrowthShape is experiment E6's assertion: under the canonical
+// round-robin schedule the tournament's state-change cost grows like
+// n log n while Peterson's grows strictly faster (superquadratic in n at
+// these sizes). We check the ratio tournament/(n log n) stays bounded while
+// peterson/(n log n) keeps growing.
+func TestCostGrowthShape(t *testing.T) {
+	type row struct {
+		n                    int
+		peterson, tournament int64
+	}
+	var rows []row
+	for _, n := range []int{4, 8, 16, 32} {
+		p, err := Run(Peterson{}, n, RoundRobin())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Run(Tournament{}, n, RoundRobin())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row{n: n, peterson: p.Cost, tournament: tr.Cost})
+		t.Logf("n=%2d: peterson=%6d tournament=%5d", n, p.Cost, tr.Cost)
+	}
+	// Tournament: cost / (n log2 n) bounded (allow a generous constant).
+	for _, r := range rows {
+		nlogn := float64(r.n) * log2(float64(r.n))
+		if ratio := float64(r.tournament) / nlogn; ratio > 12 {
+			t.Fatalf("tournament cost %d at n=%d: ratio %.1f exceeds O(n log n) budget",
+				r.tournament, r.n, ratio)
+		}
+	}
+	// Peterson grows superlinearly relative to n log n: the normalized
+	// cost at n=32 must exceed the one at n=4 by a clear factor.
+	first := float64(rows[0].peterson) / (float64(rows[0].n) * log2(float64(rows[0].n)))
+	last := float64(rows[len(rows)-1].peterson) / (float64(rows[len(rows)-1].n) * log2(float64(rows[len(rows)-1].n)))
+	if last < 3*first {
+		t.Fatalf("peterson normalized cost did not grow (first %.1f, last %.1f): expected superlinear gap",
+			first, last)
+	}
+}
+
+func log2(x float64) float64 {
+	l := 0.0
+	for x > 1 {
+		x /= 2
+		l++
+	}
+	return l
+}
+
+// TestFanLynchLowerBoundShape checks the lower-bound side: no run of either
+// algorithm beats log2(n!) state changes, the information-theoretic floor
+// of the Fan-Lynch argument (processes must collectively learn the CS
+// order).
+func TestFanLynchLowerBoundShape(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		floor := int64(log2Factorial(n))
+		for _, alg := range []Algorithm{Peterson{}, Tournament{}} {
+			res, err := Run(alg, n, RoundRobin())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost < floor {
+				t.Fatalf("%s n=%d: cost %d below the information floor log2(n!)=%d",
+					alg.Name(), n, res.Cost, floor)
+			}
+		}
+	}
+}
+
+func log2Factorial(n int) float64 {
+	sum := 0.0
+	for i := 2; i <= n; i++ {
+		sum += log2(float64(i))
+	}
+	return sum
+}
+
+// TestBakerySafety drives the bakery algorithm through the same schedule
+// battery as the other algorithms.
+func TestBakerySafety(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		if _, err := Run(Bakery{}, n, RoundRobin()); err != nil {
+			t.Fatalf("n=%d round-robin: %v", n, err)
+		}
+		if _, err := Run(Bakery{}, n, Sequential()); err != nil {
+			t.Fatalf("n=%d sequential: %v", n, err)
+		}
+		for seed := int64(0); seed < 25; seed++ {
+			if _, err := Run(Bakery{}, n, Random(seed)); err != nil {
+				t.Fatalf("n=%d random(%d): %v", n, seed, err)
+			}
+		}
+	}
+}
+
+// TestBakeryFCFS: under the sequential schedule, CS order follows pid order
+// (tickets are handed out first-come-first-served).
+func TestBakeryFCFS(t *testing.T) {
+	res, err := Run(Bakery{}, 5, Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pid := range res.Order {
+		if pid != i {
+			t.Fatalf("sequential CS order %v not FCFS", res.Order)
+		}
+	}
+}
+
+// TestBakeryCostShape: bakery's state-change cost under round-robin sits
+// between the tournament's n log n and Peterson's superquadratic growth
+// (its doorway alone reads n registers per entry, so Ω(n²) total).
+func TestBakeryCostShape(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b, err := Run(Bakery{}, n, RoundRobin())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Run(Tournament{}, n, RoundRobin())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n >= 16 && b.Cost <= tr.Cost {
+			t.Fatalf("n=%d: bakery cost %d not above tournament %d", n, b.Cost, tr.Cost)
+		}
+		floor := int64(n) * int64(n) / 2 // doorway scans alone
+		if b.Cost < floor {
+			t.Fatalf("n=%d: bakery cost %d below its doorway floor %d", n, b.Cost, floor)
+		}
+		t.Logf("n=%2d: bakery=%6d tournament=%5d", n, b.Cost, tr.Cost)
+	}
+}
+
+// TestInOrderRealisesEveryPermutation: the permutation scheduler actually
+// realises arbitrary CS orders for every algorithm.
+func TestInOrderRealisesEveryPermutation(t *testing.T) {
+	perms := [][]int{{2, 0, 1}, {1, 2, 0}, {0, 1, 2}}
+	for _, alg := range []Algorithm{Peterson{}, Tournament{}, Bakery{}} {
+		for _, perm := range perms {
+			res, err := Run(alg, 3, InOrder(perm))
+			if err != nil {
+				t.Fatalf("%s %v: %v", alg.Name(), perm, err)
+			}
+			for i := range perm {
+				if res.Order[i] != perm[i] {
+					t.Fatalf("%s: order %v, want %v", alg.Name(), res.Order, perm)
+				}
+			}
+		}
+	}
+}
+
+// TestRegisterCounts pins the declared register footprints.
+func TestRegisterCounts(t *testing.T) {
+	cases := []struct {
+		alg  Algorithm
+		n    int
+		want int
+	}{
+		{Peterson{}, 4, 7},    // n levels + n-1 waiting
+		{Bakery{}, 4, 8},      // choosing + number
+		{Tournament{}, 4, 9},  // 3 per internal node, 3 nodes
+		{Tournament{}, 5, 21}, // next power of two: 7 nodes
+	}
+	for _, tc := range cases {
+		if got := tc.alg.Registers(tc.n); got != tc.want {
+			t.Fatalf("%s.Registers(%d) = %d, want %d", tc.alg.Name(), tc.n, got, tc.want)
+		}
+	}
+}

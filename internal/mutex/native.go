@@ -1,0 +1,80 @@
+package mutex
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// TournamentLock is the tournament of two-process Peterson locks as a real
+// goroutine lock: the same algorithm the simulator measures in the
+// state-change cost model (Tournament), built on sync/atomic with
+// runtime.Gosched busy-waiting. Unlike the simulated twin it is meant to be
+// *used* — each of n registered processes may Lock/Unlock with its own pid.
+//
+// Peterson's algorithm requires sequential consistency; Go's atomic
+// operations provide it (all atomic ops observe a single total order), so
+// flag/turn reads and writes below are all atomic.
+type TournamentLock struct {
+	n, height int
+	// nodes[i] is heap node i+1 (root = node 1); each node holds
+	// flag[0], flag[1] and turn for its two-process Peterson instance.
+	nodes []lockNode
+}
+
+type lockNode struct {
+	flag [2]atomic.Int32
+	turn atomic.Int32
+}
+
+// NewTournamentLock returns a lock for n processes with ids 0..n-1.
+func NewTournamentLock(n int) *TournamentLock {
+	if n < 1 {
+		panic(fmt.Sprintf("mutex: need n >= 1, got %d", n))
+	}
+	h := levels(n)
+	return &TournamentLock{
+		n:      n,
+		height: h,
+		nodes:  make([]lockNode, (1<<h)-1+1), // 1-based heap, root at 1
+	}
+}
+
+// Lock acquires the critical section for process pid.
+func (l *TournamentLock) Lock(pid int) {
+	if pid < 0 || pid >= l.n {
+		panic(fmt.Sprintf("mutex: pid %d out of range [0,%d)", pid, l.n))
+	}
+	pos := (1 << l.height) + pid
+	for level := 0; level < l.height; level++ {
+		side := int32(pos & 1)
+		node := &l.nodes[pos>>1]
+		node.flag[side].Store(1)
+		node.turn.Store(side)
+		for node.flag[1-side].Load() == 1 && node.turn.Load() == side {
+			runtime.Gosched()
+		}
+		pos >>= 1
+	}
+}
+
+// Unlock releases the critical section for process pid. It must be called
+// by the pid that holds the lock.
+func (l *TournamentLock) Unlock(pid int) {
+	if pid < 0 || pid >= l.n {
+		panic(fmt.Sprintf("mutex: pid %d out of range [0,%d)", pid, l.n))
+	}
+	// Release the nodes in root-to-leaf order (the reverse of acquire
+	// works too; releases are independent flag clears).
+	pos := (1 << l.height) + pid
+	path := make([]int, 0, l.height)
+	for level := 0; level < l.height; level++ {
+		path = append(path, pos)
+		pos >>= 1
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		p := path[i]
+		side := int32(p & 1)
+		l.nodes[p>>1].flag[side].Store(0)
+	}
+}

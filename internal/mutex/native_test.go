@@ -1,0 +1,92 @@
+package mutex
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTournamentLockMutualExclusion increments an unprotected counter under
+// the lock from many goroutines; any exclusion failure loses updates.
+func TestTournamentLockMutualExclusion(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 13} {
+		l := NewTournamentLock(n)
+		const rounds = 400
+		counter := 0
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					l.Lock(pid)
+					counter++
+					l.Unlock(pid)
+				}
+			}(pid)
+		}
+		wg.Wait()
+		if counter != n*rounds {
+			t.Fatalf("n=%d: counter = %d, want %d (lost updates => exclusion violated)",
+				n, counter, n*rounds)
+		}
+	}
+}
+
+// TestTournamentLockHandoff checks strict alternation is possible: two
+// processes can pass the lock back and forth without deadlock.
+func TestTournamentLockHandoff(t *testing.T) {
+	l := NewTournamentLock(2)
+	turns := make(chan int, 64)
+	var wg sync.WaitGroup
+	for pid := 0; pid < 2; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				l.Lock(pid)
+				turns <- pid
+				l.Unlock(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	close(turns)
+	count := 0
+	for range turns {
+		count++
+	}
+	if count != 64 {
+		t.Fatalf("%d critical sections, want 64", count)
+	}
+}
+
+// TestTournamentLockBadPid covers the guard rails.
+func TestTournamentLockBadPid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range pid")
+		}
+	}()
+	NewTournamentLock(2).Lock(2)
+}
+
+// BenchmarkTournamentLock measures native lock throughput under full
+// contention (supplementary to the E6 cost tables).
+func BenchmarkTournamentLock(b *testing.B) {
+	const n = 4
+	l := NewTournamentLock(n)
+	var wg sync.WaitGroup
+	per := b.N/n + 1
+	b.ResetTimer()
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Lock(pid)
+				l.Unlock(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+package mutex
+
+// Peterson is Peterson's n-process level-based mutual exclusion algorithm,
+// exactly as listed in the provided text (deck part II): a process climbs
+// n-1 levels, at each level publishing its level, registering as the
+// level's waiter, and busy-waiting until either another process displaces
+// it as waiter or no other process is at its level or higher. Total work in
+// canonical executions is O(n³) — the deck's motivating gap against the
+// Ω(n log n) lower bound.
+//
+// Register layout: level[0..n-1] (holding current level + 1, so the zero
+// value means "not trying", i.e. the deck's -1 shifted by one) followed by
+// waiting[0..n-2].
+type Peterson struct{}
+
+// Name implements Algorithm.
+func (Peterson) Name() string { return "peterson" }
+
+// Registers implements Algorithm: n level slots + n-1 waiting slots.
+func (Peterson) Registers(n int) int { return 2*n - 1 }
+
+// Run implements Algorithm.
+func (Peterson) Run(m *Memory, pid int) {
+	n := m.N()
+	level := func(i int) int { return i }
+	waiting := func(l int) int { return n + l }
+
+	for l := 0; l < n-1; l++ {
+		m.Write(pid, level(pid), int64(l)+1)
+		m.Write(pid, waiting(l), int64(pid))
+		for {
+			if m.Read(pid, waiting(l)) != int64(pid) {
+				break
+			}
+			higher := false
+			for k := 0; k < n; k++ {
+				if k == pid {
+					continue
+				}
+				if m.Read(pid, level(k)) >= int64(l)+1 {
+					higher = true
+					break
+				}
+			}
+			if !higher {
+				break
+			}
+		}
+	}
+	m.CS(pid)
+	m.Write(pid, level(pid), 0)
+}

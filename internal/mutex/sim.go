@@ -1,0 +1,248 @@
+// Package mutex reproduces part II of the provided text (Fan and Lynch,
+// "An Ω(n log n) Lower Bound on the Cost of Mutual Exclusion"): mutual
+// exclusion algorithms from registers, executed under a deterministic
+// lockstep scheduler that accounts cost in the state-change model — a
+// memory access is charged only if it changes the process's state, i.e.
+// re-reading an unchanged register (busy-waiting) is free, which is the
+// deck's simplification of the cache-coherent model.
+//
+// Two algorithms are provided: Peterson's n-process level algorithm (the
+// deck's example, Θ(n³) total work in canonical executions under this cost
+// measure is its upper bound; we measure its actual growth) and a
+// tournament of two-process Peterson locks, whose canonical-execution cost
+// is O(n log n) — matching the Fan-Lynch lower bound's order, like the
+// Yang-Anderson algorithm the paper cites as tight.
+package mutex
+
+import (
+	"fmt"
+)
+
+// Algorithm is a mutual exclusion algorithm: Run drives one process through
+// a single acquire / critical-section / release cycle using the memory m.
+// Implementations busy-wait by re-issuing reads; the simulator charges
+// accesses per the state-change cost model.
+type Algorithm interface {
+	Name() string
+	// Registers returns how many shared registers the algorithm needs
+	// for n processes.
+	Registers(n int) int
+	// Run performs one entry of process pid. It must call m.CS(pid)
+	// exactly once between its trying and exit sections.
+	Run(m *Memory, pid int)
+}
+
+// Memory is the shared memory handed to algorithm processes. Its methods
+// must only be called by the goroutine currently holding the scheduler's
+// grant — the Sim enforces this by construction.
+type Memory struct {
+	sim *Sim
+	n   int
+}
+
+// N returns the number of processes in the run.
+func (m *Memory) N() int { return m.n }
+
+// Read returns the contents of register reg, charging pid per the cost
+// model. Each call consumes one scheduler step, so busy-wait loops yield.
+func (m *Memory) Read(pid, reg int) int64 {
+	m.sim.await(pid)
+	v := m.sim.regs[reg]
+	if last, seen := m.sim.lastSeen[pid][reg]; !seen || last != v {
+		m.sim.cost[pid]++
+		m.sim.lastSeen[pid][reg] = v
+	}
+	m.sim.reads++
+	m.sim.release(pid)
+	return v
+}
+
+// Write stores v into register reg. Writes are always charged (they
+// invalidate remote caches in the underlying cache-coherent intuition).
+func (m *Memory) Write(pid, reg int, v int64) {
+	m.sim.await(pid)
+	m.sim.regs[reg] = v
+	m.sim.cost[pid]++
+	m.sim.lastSeen[pid][reg] = v
+	m.sim.writes++
+	m.sim.release(pid)
+}
+
+// CS marks the critical section of pid: the simulator verifies mutual
+// exclusion and records the entry order.
+func (m *Memory) CS(pid int) {
+	m.sim.await(pid)
+	m.sim.inCS++
+	if m.sim.inCS != 1 {
+		m.sim.violation = fmt.Errorf("mutual exclusion violated: %d processes in CS (p%d entering)",
+			m.sim.inCS, pid)
+	}
+	m.sim.order = append(m.sim.order, pid)
+	m.sim.release(pid)
+
+	m.sim.await(pid)
+	m.sim.inCS--
+	m.sim.release(pid)
+}
+
+// Sim executes a canonical run (each of n processes enters the critical
+// section exactly once) under a deterministic schedule.
+type Sim struct {
+	n        int
+	regs     []int64
+	lastSeen []map[int]int64
+	cost     []int64
+	reads    int64
+	writes   int64
+	inCS     int
+	order    []int
+	// violation records a mutual exclusion failure observed mid-run.
+	violation error
+
+	grant []chan struct{}
+	done  chan int
+}
+
+// Result reports a canonical execution's outcome.
+type Result struct {
+	Algorithm string
+	N         int
+	// Cost is the state-change cost summed over all processes.
+	Cost int64
+	// Reads and Writes count all memory accesses (the uncharged,
+	// busy-waiting ones included).
+	Reads, Writes int64
+	// Order is the critical-section entry order.
+	Order []int
+}
+
+// String renders one row of the experiment table.
+func (r Result) String() string {
+	return fmt.Sprintf("%s n=%d: state-change cost=%d (accesses: %d reads, %d writes)",
+		r.Algorithm, r.N, r.Cost, r.Reads, r.Writes)
+}
+
+// Schedule chooses the next process to grant a step to. It receives the set
+// of currently runnable processes (true = still running) and the step
+// number, and returns a pid. The round-robin schedule is the canonical
+// adversary of the deck's experiments.
+type Schedule func(runnable []bool, step int) int
+
+// RoundRobin grants steps to runnable processes in cyclic order.
+func RoundRobin() Schedule {
+	next := 0
+	return func(runnable []bool, _ int) int {
+		for {
+			pid := next % len(runnable)
+			next++
+			if runnable[pid] {
+				return pid
+			}
+		}
+	}
+}
+
+// Sequential runs each process to completion in pid order: the contention-
+// free baseline.
+func Sequential() Schedule {
+	return func(runnable []bool, _ int) int {
+		for pid, ok := range runnable {
+			if ok {
+				return pid
+			}
+		}
+		return 0
+	}
+}
+
+// Run executes one canonical execution of the algorithm under the schedule.
+func Run(alg Algorithm, n int, sched Schedule) (Result, error) {
+	s := &Sim{
+		n:        n,
+		regs:     make([]int64, alg.Registers(n)),
+		lastSeen: make([]map[int]int64, n),
+		cost:     make([]int64, n),
+		grant:    make([]chan struct{}, n),
+		done:     make(chan int),
+	}
+	for i := range s.lastSeen {
+		s.lastSeen[i] = make(map[int]int64)
+		s.grant[i] = make(chan struct{})
+	}
+	mem := &Memory{sim: s, n: n}
+
+	for pid := 0; pid < n; pid++ {
+		go func(pid int) {
+			alg.Run(mem, pid)
+			s.await(pid)
+			// Signal completion by reporting pid through done with
+			// a closed grant channel dance: mark via negative pid.
+			s.doneFor(pid)
+		}(pid)
+	}
+
+	runnable := make([]bool, n)
+	for i := range runnable {
+		runnable[i] = true
+	}
+	remaining := n
+	const maxSteps = 50_000_000 // deadlock guard far above any measured run
+	for step := 0; remaining > 0; step++ {
+		if step >= maxSteps {
+			return Result{}, fmt.Errorf("%s n=%d: no completion within %d steps (deadlock or starvation)",
+				alg.Name(), n, maxSteps)
+		}
+		pid := sched(runnable, step)
+		s.grant[pid] <- struct{}{}
+		res := <-s.done
+		if res < 0 {
+			runnable[-res-1] = false
+			remaining--
+		}
+	}
+
+	if s.violation != nil {
+		return Result{}, s.violation
+	}
+	if len(s.order) != n {
+		return Result{}, fmt.Errorf("canonical execution: %d CS entries, want %d", len(s.order), n)
+	}
+	var total int64
+	for _, c := range s.cost {
+		total += c
+	}
+	return Result{
+		Algorithm: alg.Name(),
+		N:         n,
+		Cost:      total,
+		Reads:     s.reads,
+		Writes:    s.writes,
+		Order:     s.order,
+	}, nil
+}
+
+func (s *Sim) await(pid int)   { <-s.grant[pid] }
+func (s *Sim) release(pid int) { s.done <- pid }
+func (s *Sim) doneFor(pid int) { s.done <- -pid - 1 }
+
+// InOrder runs each process to completion following the given permutation:
+// the canonical execution whose critical-section order is exactly perm.
+func InOrder(perm []int) Schedule {
+	at := 0
+	return func(runnable []bool, _ int) int {
+		for at < len(perm) && !runnable[perm[at]] {
+			at++
+		}
+		if at < len(perm) {
+			return perm[at]
+		}
+		// All permutation entries finished; fall back (unreachable for
+		// well-formed runs).
+		for pid, ok := range runnable {
+			if ok {
+				return pid
+			}
+		}
+		return 0
+	}
+}

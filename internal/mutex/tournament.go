@@ -1,0 +1,71 @@
+package mutex
+
+// Tournament is a binary tree of two-process Peterson locks: process pid
+// enters at a leaf and climbs log₂(n) internal nodes to the root, playing
+// the classic two-process algorithm at each node against whoever arrives
+// from the sibling subtree. In the state-change cost model a canonical
+// execution costs O(n log n) — the order of the Fan-Lynch lower bound, for
+// which the deck cites Yang and Anderson's algorithm as tight; the
+// tournament exhibits the same asymptotics because busy-wait re-reads of
+// unchanged registers are free in this model.
+//
+// Register layout per internal node: flag[0], flag[1], turn.
+type Tournament struct{}
+
+// Name implements Algorithm.
+func (Tournament) Name() string { return "tournament" }
+
+// Registers implements Algorithm: 3 registers per internal node of a
+// binary tree with levels(n) levels.
+func (Tournament) Registers(n int) int {
+	return 3 * ((1 << levels(n)) - 1)
+}
+
+// levels returns ⌈log₂ n⌉, the number of rounds a process plays.
+func levels(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}
+
+// Run implements Algorithm.
+func (Tournament) Run(m *Memory, pid int) {
+	n := m.N()
+	h := levels(n)
+	// Nodes are heap-indexed: root 1, children 2i and 2i+1. A process
+	// starts at leaf position (1<<h)+pid and at each step plays at the
+	// parent node, as the left (0) or right (1) contender by parity.
+	pos := (1 << h) + pid
+	type played struct{ node, side int }
+	path := make([]played, 0, h)
+	for level := 0; level < h; level++ {
+		side := pos & 1
+		node := pos >> 1
+		lockAcquire(m, pid, node, side)
+		path = append(path, played{node: node, side: side})
+		pos = node
+	}
+	m.CS(pid)
+	for i := len(path) - 1; i >= 0; i-- {
+		lockRelease(m, pid, path[i].node, path[i].side)
+	}
+}
+
+// reg computes the register index for a node's slot (0,1 = flags, 2 = turn).
+// Node indices are 1-based heap positions; internal nodes occupy 1..2^h-1.
+func reg(node, slot int) int { return 3*(node-1) + slot }
+
+// lockAcquire plays two-process Peterson at a node as contender side.
+func lockAcquire(m *Memory, pid, node, side int) {
+	m.Write(pid, reg(node, side), 1)
+	m.Write(pid, reg(node, 2), int64(side))
+	for m.Read(pid, reg(node, 1-side)) == 1 && m.Read(pid, reg(node, 2)) == int64(side) {
+	}
+}
+
+// lockRelease exits the node's lock.
+func lockRelease(m *Memory, pid, node, side int) {
+	m.Write(pid, reg(node, side), 0)
+}

@@ -1,0 +1,79 @@
+package native
+
+import "repro/internal/register"
+
+// Outcome is the result kind of an adopt-commit proposal.
+type Outcome uint8
+
+const (
+	// Adopt: carry the returned value to the next round, but do not
+	// decide.
+	Adopt Outcome = iota + 1
+	// Commit: the returned value is decided; every other process is
+	// guaranteed to leave this object with the same value (committed or
+	// adopted).
+	Commit
+)
+
+// AdoptCommit is a wait-free adopt-commit (commit-adopt) object for binary
+// values, built from six multi-writer bits (two proposal bits A, two
+// second-stage bits B, and two padding slots keeping the register audit
+// simple). It provides the round structure of randomized consensus:
+//
+//	(a) if every proposal is v, every process commits v;
+//	(b) if any process commits v, every process commits or adopts v;
+//	(c) returned values were proposed.
+//
+// The implementation is the two-stage conflict detector: set A[v]; if the
+// opposite A bit is still clear, set B[v] and commit if the opposite A bit
+// is clear on a second look; otherwise defer to an opposite B bit if one is
+// set. The key invariant — at most one of B[0], B[1] is ever set — holds
+// because two "clean" first stages of opposite values would each have to
+// read the other's A bit before it was written, and each writes its own A
+// bit before reading (see TestAdoptCommitBothB for the stress test). The
+// model twin (consensus.AdoptCommit) carries the stronger guarantee: all
+// three properties are verified exhaustively over every interleaving for
+// n ≤ 4 by consensus.TestAdoptCommitModelProperties.
+type AdoptCommit struct {
+	bits *register.Array[bool]
+}
+
+// Register layout within the bit array.
+const (
+	acA0 = iota
+	acA1
+	acB0
+	acB1
+	acBits
+)
+
+// NewAdoptCommit returns a fresh object.
+func NewAdoptCommit() *AdoptCommit {
+	return &AdoptCommit{bits: register.NewArray[bool](acBits)}
+}
+
+// newAdoptCommitOn uses a caller-provided bit array (offset o), so a
+// consensus protocol can present one contiguous, auditable register file.
+func newAdoptCommitOn(bits *register.Array[bool]) *AdoptCommit {
+	return &AdoptCommit{bits: bits}
+}
+
+// Propose runs the object for one process with binary input v.
+func (ac *AdoptCommit) Propose(v int) (Outcome, int) {
+	a := [2]int{acA0, acA1}
+	b := [2]int{acB0, acB1}
+	ac.bits.Write(a[v], true)
+	if ac.bits.Read(a[1-v]) {
+		// Conflict: the opposite value is being proposed. If it
+		// reached its second stage it may commit; defer to it.
+		if ac.bits.Read(b[1-v]) {
+			return Adopt, 1 - v
+		}
+		return Adopt, v
+	}
+	ac.bits.Write(b[v], true)
+	if ac.bits.Read(a[1-v]) {
+		return Adopt, v
+	}
+	return Commit, v
+}

@@ -1,0 +1,123 @@
+package native
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// BackoffPolicy selects the contention manager used by obstruction-free
+// protocols. Obstruction freedom only guarantees progress in solo runs, so
+// under the Go scheduler a contention manager is what turns "terminates if
+// left alone" into "terminates": after an abort, the policy decides how
+// long to stand back, creating the solo window the protocol needs.
+// Experiment-wise this is the liveness knob the paper's model abstracts
+// away (the adversary there simply chooses schedules); the policies here
+// let the benchmarks show how much it matters in a real runtime.
+type BackoffPolicy uint8
+
+const (
+	// BackoffNone retries immediately (only yields the processor).
+	BackoffNone BackoffPolicy = iota + 1
+	// BackoffLinear sleeps attempt × base.
+	BackoffLinear
+	// BackoffExponential doubles the sleep each abort.
+	BackoffExponential
+	// BackoffExponentialJitter doubles a cap and sleeps a uniformly
+	// random duration below it — the default, and the classic choice:
+	// randomisation breaks the symmetry that lock-step contenders
+	// otherwise maintain forever.
+	BackoffExponentialJitter
+)
+
+// String implements fmt.Stringer.
+func (p BackoffPolicy) String() string {
+	switch p {
+	case BackoffNone:
+		return "none"
+	case BackoffLinear:
+		return "linear"
+	case BackoffExponential:
+		return "exponential"
+	case BackoffExponentialJitter:
+		return "exponential-jitter"
+	default:
+		return fmt.Sprintf("BackoffPolicy(%d)", uint8(p))
+	}
+}
+
+// backoff is the per-process contention-manager state.
+type backoff struct {
+	policy  BackoffPolicy
+	base    time.Duration
+	cap     time.Duration
+	attempt int
+	cur     time.Duration
+	rng     *rand.Rand
+}
+
+func newBackoff(policy BackoffPolicy, seed int64) *backoff {
+	return &backoff{
+		policy: policy,
+		base:   2 * time.Microsecond,
+		cap:    time.Millisecond,
+		cur:    2 * time.Microsecond,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// wait stands back after an abort according to the policy.
+func (b *backoff) wait() {
+	b.attempt++
+	runtime.Gosched()
+	switch b.policy {
+	case BackoffNone:
+		return
+	case BackoffLinear:
+		d := time.Duration(b.attempt) * b.base
+		if d > b.cap {
+			d = b.cap
+		}
+		time.Sleep(d)
+	case BackoffExponential:
+		time.Sleep(b.cur)
+		if b.cur < b.cap {
+			b.cur *= 2
+		}
+	case BackoffExponentialJitter:
+		time.Sleep(time.Duration(b.rng.Int63n(int64(b.cur) + 1)))
+		if b.cur < b.cap {
+			b.cur *= 2
+		}
+	default:
+		panic(fmt.Sprintf("native: invalid backoff policy %d", b.policy))
+	}
+}
+
+// ContentionStats aggregates liveness metrics across one object's lifetime.
+type ContentionStats struct {
+	// Aborts counts ballot aborts (phase restarts) across all processes.
+	Aborts int64
+	// Decisions counts completed Propose calls.
+	Decisions int64
+}
+
+// AbortsPerDecision is the headline contention metric.
+func (s ContentionStats) AbortsPerDecision() float64 {
+	if s.Decisions == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Decisions)
+}
+
+// abortCounter is embedded by protocols that track contention.
+type abortCounter struct {
+	aborts    atomic.Int64
+	decisions atomic.Int64
+}
+
+func (c *abortCounter) contentionStats() ContentionStats {
+	return ContentionStats{Aborts: c.aborts.Load(), Decisions: c.decisions.Load()}
+}

@@ -1,0 +1,78 @@
+package native
+
+import (
+	"sync"
+	"testing"
+)
+
+// raceOnce runs one full n-process race under the given policy and returns
+// the contention stats.
+func raceOnce(t testing.TB, n int, policy BackoffPolicy) ContentionStats {
+	t.Helper()
+	d := NewDiskRaceWithBackoff(n, policy)
+	decided := make([]int, n)
+	var wg sync.WaitGroup
+	for pid := 0; pid < n; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			v, err := d.Propose(pid, pid%2)
+			if err != nil {
+				t.Errorf("p%d: %v", pid, err)
+				return
+			}
+			decided[pid] = v
+		}(pid)
+	}
+	wg.Wait()
+	for pid := 1; pid < n; pid++ {
+		if decided[pid] != decided[0] {
+			t.Fatalf("policy %v: agreement violated: %v", policy, decided)
+		}
+	}
+	return d.Contention()
+}
+
+// TestBackoffPoliciesAllSafe: the contention manager is a liveness knob
+// only — safety (and the register audit) must hold under every policy,
+// including no backoff at all.
+func TestBackoffPoliciesAllSafe(t *testing.T) {
+	policies := []BackoffPolicy{BackoffNone, BackoffLinear, BackoffExponential, BackoffExponentialJitter}
+	for _, policy := range policies {
+		for trial := 0; trial < 10; trial++ {
+			stats := raceOnce(t, 6, policy)
+			if stats.Decisions != 6 {
+				t.Fatalf("policy %v: %d decisions, want 6", policy, stats.Decisions)
+			}
+		}
+	}
+}
+
+// TestBackoffPolicyStrings pins the labels used in benchmark names.
+func TestBackoffPolicyStrings(t *testing.T) {
+	want := map[BackoffPolicy]string{
+		BackoffNone:              "none",
+		BackoffLinear:            "linear",
+		BackoffExponential:       "exponential",
+		BackoffExponentialJitter: "exponential-jitter",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+// BenchmarkContention compares abort rates across contention managers: the
+// liveness study behind the protocol's default policy choice.
+func BenchmarkContention(b *testing.B) {
+	for _, policy := range []BackoffPolicy{BackoffNone, BackoffLinear, BackoffExponential, BackoffExponentialJitter} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var last ContentionStats
+			for i := 0; i < b.N; i++ {
+				last = raceOnce(b, 8, policy)
+			}
+			b.ReportMetric(last.AbortsPerDecision(), "aborts-per-decision")
+		})
+	}
+}

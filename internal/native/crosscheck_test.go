@@ -1,0 +1,59 @@
+package native
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+)
+
+// TestNativeMatchesModelSequential cross-validates the native DiskRace
+// against its model twin: under contention-free sequential execution both
+// are deterministic runs of the same algorithm, so for every input vector
+// and every arrival order they must decide identically.
+func TestNativeMatchesModelSequential(t *testing.T) {
+	n := 3
+	orders := [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}}
+	for bits := 0; bits < 1<<n; bits++ {
+		inputs := make([]int, n)
+		modelInputs := make([]model.Value, n)
+		for i := range inputs {
+			inputs[i] = (bits >> i) & 1
+			modelInputs[i] = model.Value([]string{"0", "1"}[inputs[i]])
+		}
+		for _, order := range orders {
+			// Model: run each process to its decision, in order.
+			c := model.NewConfig(consensus.DiskRace{}, modelInputs)
+			modelDecided := make([]model.Value, n)
+			for _, pid := range order {
+				for step := 0; step < 200; step++ {
+					if v, ok := c.Decided(pid); ok {
+						modelDecided[pid] = v
+						break
+					}
+					c = c.StepDet(pid)
+				}
+				if modelDecided[pid] == model.Bottom {
+					t.Fatalf("model p%d undecided", pid)
+				}
+			}
+			// Native: sequential Propose calls in the same order.
+			d := NewDiskRace(n)
+			nativeDecided := make([]int, n)
+			for _, pid := range order {
+				v, err := d.Propose(pid, inputs[pid])
+				if err != nil {
+					t.Fatalf("native p%d: %v", pid, err)
+				}
+				nativeDecided[pid] = v
+			}
+			for pid := 0; pid < n; pid++ {
+				want := []string{"0", "1"}[nativeDecided[pid]]
+				if string(modelDecided[pid]) != want {
+					t.Fatalf("inputs %v order %v: model p%d decided %s, native %d",
+						inputs, order, pid, string(modelDecided[pid]), nativeDecided[pid])
+				}
+			}
+		}
+	}
+}

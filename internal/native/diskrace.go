@@ -1,0 +1,132 @@
+// Package native provides goroutine-based implementations of the consensus
+// protocols studied in the abstract model, built only on the atomic
+// registers of internal/register. The model twin of each protocol is what
+// the lower-bound adversary attacks; the native twin is what the benchmarks
+// run, and agreement between the two is itself checked by tests that replay
+// native histories against the model rules.
+package native
+
+import (
+	"fmt"
+
+	"repro/internal/register"
+)
+
+// Block mirrors the register contents of the model DiskRace protocol: the
+// largest ballot the owner started (Mbal), the largest ballot at which it
+// completed phase 1 (Bal), and the value it proposed there.
+type Block struct {
+	MbalK, MbalP int
+	BalK, BalP   int
+	Inp          int
+}
+
+func ballotLess(k1, p1, k2, p2 int) bool {
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return p1 < p2
+}
+
+// DiskRace is the native twin of consensus.DiskRace: one-disk Disk Paxos on
+// n single-writer atomic registers. The zero value is not usable; call
+// NewDiskRace.
+type DiskRace struct {
+	n      int
+	regs   *register.Array[Block]
+	policy BackoffPolicy
+	abortCounter
+}
+
+// NewDiskRace returns an instance for n processes with the default
+// contention manager (randomised exponential backoff: obstruction freedom
+// alone does not guarantee termination under the Go scheduler, so aborts
+// stand back until a solo window occurs with probability 1).
+func NewDiskRace(n int) *DiskRace {
+	return NewDiskRaceWithBackoff(n, BackoffExponentialJitter)
+}
+
+// NewDiskRaceWithBackoff selects the contention manager explicitly (the
+// liveness study of BenchmarkContention).
+func NewDiskRaceWithBackoff(n int, policy BackoffPolicy) *DiskRace {
+	return &DiskRace{
+		n:      n,
+		regs:   register.NewArray[Block](n),
+		policy: policy,
+	}
+}
+
+// Stats exposes the register instrumentation (experiment E2 audits that
+// exactly n registers are written).
+func (d *DiskRace) Stats() register.Stats { return d.regs.Stats() }
+
+// Contention exposes abort/decision counters.
+func (d *DiskRace) Contention() ContentionStats { return d.contentionStats() }
+
+// Propose runs consensus as process pid (0-based) with the given binary
+// input and returns the decided value. It is safe to call concurrently from
+// n goroutines with distinct pids; calling twice with the same pid is a
+// protocol violation.
+func (d *DiskRace) Propose(pid, input int) (int, error) {
+	if pid < 0 || pid >= d.n {
+		return 0, fmt.Errorf("native: pid %d out of range [0,%d)", pid, d.n)
+	}
+	if input != 0 && input != 1 {
+		return 0, fmt.Errorf("native: input must be binary, got %d", input)
+	}
+	bo := newBackoff(d.policy, int64(pid)*7919+1)
+	k := 1
+	var ownBal Block // mirrors our register's (Bal, Inp)
+	for attempt := 0; ; attempt++ {
+		// Phase 1: announce the ballot, then read everything.
+		d.regs.Write(pid, Block{
+			MbalK: k, MbalP: pid,
+			BalK: ownBal.BalK, BalP: ownBal.BalP,
+			Inp: ownBal.Inp,
+		})
+		maxK, proposal, ok := d.collect(pid, k, input)
+		if !ok {
+			k = maxK + 1
+			d.aborts.Add(1)
+			bo.wait()
+			continue
+		}
+		// Phase 2: accept the proposal, then read everything again.
+		ownBal = Block{MbalK: k, MbalP: pid, BalK: k, BalP: pid, Inp: proposal}
+		d.regs.Write(pid, ownBal)
+		if maxK, _, ok := d.collect(pid, k, proposal); !ok {
+			k = maxK + 1
+			d.aborts.Add(1)
+			bo.wait()
+			continue
+		}
+		d.decisions.Add(1)
+		return proposal, nil
+	}
+}
+
+// collect reads all registers. It returns (maxRound, chosenProposal, ok):
+// ok is false if some register advertises a ballot above (k, pid), in which
+// case maxRound is the highest round seen; otherwise chosenProposal is the
+// value of the largest accepted ballot, or fallback if none.
+func (d *DiskRace) collect(pid, k, fallback int) (int, int, bool) {
+	maxK := k
+	balK, balP, proposal := 0, -1, fallback
+	abort := false
+	for i := 0; i < d.n; i++ {
+		b := d.regs.Read(i)
+		if b.MbalK > maxK {
+			maxK = b.MbalK
+		}
+		if ballotLess(k, pid, b.MbalK, b.MbalP) {
+			abort = true
+		}
+		if b.BalK > 0 && ballotLess(balK, balP, b.BalK, b.BalP) {
+			balK, balP, proposal = b.BalK, b.BalP, b.Inp
+		}
+	}
+	if abort {
+		return maxK, 0, false
+	}
+	return maxK, proposal, true
+}

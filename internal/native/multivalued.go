@@ -1,0 +1,97 @@
+package native
+
+import (
+	"fmt"
+
+	"repro/internal/register"
+)
+
+// Multivalued is multivalued consensus from binary consensus instances via
+// the classic announce-and-agree-bitwise reduction: participants announce
+// their proposals in a single-writer array, then agree on the winner one
+// bit at a time, each process always proposing the corresponding bit of
+// some announced value that matches the already-decided prefix. The
+// invariant that every decided prefix extends to an announced value makes
+// the outcome a real proposal (Validity), and agreement is inherited from
+// the binary instances (DiskRace here, so the whole object is
+// obstruction-free from registers only).
+type Multivalued struct {
+	n, width int
+	announce *register.Array[int64]
+	bits     []*DiskRace
+}
+
+// NewMultivalued returns an instance for n processes and proposals in
+// [0, limit).
+func NewMultivalued(n, limit int) *Multivalued {
+	if limit < 1 {
+		panic(fmt.Sprintf("native: limit must be >= 1, got %d", limit))
+	}
+	width := 1
+	for 1<<width < limit {
+		width++
+	}
+	m := &Multivalued{
+		n:        n,
+		width:    width,
+		announce: register.NewArray[int64](n),
+		bits:     make([]*DiskRace, width),
+	}
+	for i := range m.bits {
+		m.bits[i] = NewDiskRace(n)
+	}
+	return m
+}
+
+// Propose runs consensus as process pid with the given proposal and returns
+// the agreed value, which is always some participant's proposal.
+func (m *Multivalued) Propose(pid, value int) (int, error) {
+	if pid < 0 || pid >= m.n {
+		return 0, fmt.Errorf("native: pid %d out of range [0,%d)", pid, m.n)
+	}
+	if value < 0 || value >= 1<<m.width {
+		return 0, fmt.Errorf("native: proposal %d out of range [0,%d)", value, 1<<m.width)
+	}
+	// Announce: stored as value+1 so the zero value means "absent".
+	m.announce.Write(pid, int64(value)+1)
+
+	prefix, mask := 0, 0
+	for i := m.width - 1; i >= 0; i-- {
+		cand, ok := m.findAnnounced(prefix, mask)
+		if !ok {
+			return 0, fmt.Errorf("native: decided prefix %b/%b matches no announced value", prefix, mask)
+		}
+		decided, err := m.bits[i].Propose(pid, (cand>>i)&1)
+		if err != nil {
+			return 0, fmt.Errorf("native: bit %d: %w", i, err)
+		}
+		prefix |= decided << i
+		mask |= 1 << i
+	}
+	return prefix, nil
+}
+
+// Registers reports the registers written so far across the announce array
+// and the binary instances.
+func (m *Multivalued) Registers() int {
+	total := m.announce.Stats().Touched
+	for _, b := range m.bits {
+		total += b.Stats().Touched
+	}
+	return total
+}
+
+// findAnnounced scans for an announced value matching the decided prefix.
+func (m *Multivalued) findAnnounced(prefix, mask int) (int, bool) {
+	for i := 0; i < m.n; i++ {
+		v := m.announce.Read(i)
+		if v == 0 {
+			continue
+		}
+		val := int(v - 1)
+		if val&mask == prefix {
+			return val, true
+		}
+	}
+	return 0, false
+}

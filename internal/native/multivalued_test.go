@@ -1,0 +1,83 @@
+package native
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMultivaluedAgreementAndValidity races n goroutines with distinct
+// proposals: everyone agrees, and the outcome is someone's proposal.
+func TestMultivaluedAgreementAndValidity(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		for trial := 0; trial < 15; trial++ {
+			m := NewMultivalued(n, 3*n)
+			proposals := make([]int, n)
+			decided := make([]int, n)
+			var wg sync.WaitGroup
+			for pid := 0; pid < n; pid++ {
+				proposals[pid] = (pid*7 + trial) % (3 * n)
+				wg.Add(1)
+				go func(pid int) {
+					defer wg.Done()
+					v, err := m.Propose(pid, proposals[pid])
+					if err != nil {
+						t.Errorf("p%d: %v", pid, err)
+						return
+					}
+					decided[pid] = v
+				}(pid)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			proposed := map[int]bool{}
+			for _, p := range proposals {
+				proposed[p] = true
+			}
+			for pid := 0; pid < n; pid++ {
+				if decided[pid] != decided[0] {
+					t.Fatalf("n=%d: agreement violated: %v", n, decided)
+				}
+			}
+			if !proposed[decided[0]] {
+				t.Fatalf("n=%d: decided %d was never proposed (%v)", n, decided[0], proposals)
+			}
+		}
+	}
+}
+
+// TestMultivaluedRejectsBadArgs covers the guard rails.
+func TestMultivaluedRejectsBadArgs(t *testing.T) {
+	m := NewMultivalued(2, 4)
+	if _, err := m.Propose(2, 0); err == nil {
+		t.Fatal("expected pid range error")
+	}
+	if _, err := m.Propose(0, 99); err == nil {
+		t.Fatal("expected proposal range error")
+	}
+}
+
+// TestMultivaluedUnanimous: unanimous proposals always win.
+func TestMultivaluedUnanimous(t *testing.T) {
+	m := NewMultivalued(3, 8)
+	var wg sync.WaitGroup
+	out := make([]int, 3)
+	for pid := 0; pid < 3; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			v, err := m.Propose(pid, 5)
+			if err != nil {
+				t.Errorf("p%d: %v", pid, err)
+			}
+			out[pid] = v
+		}(pid)
+	}
+	wg.Wait()
+	for pid, v := range out {
+		if v != 5 {
+			t.Fatalf("p%d decided %d, want 5", pid, v)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package native
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestDiskRaceNativeAgreement runs n goroutines through native DiskRace
+// under the Go scheduler and checks Agreement and Validity across many
+// trials and sizes.
+func TestDiskRaceNativeAgreement(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		for trial := 0; trial < 30; trial++ {
+			d := NewDiskRace(n)
+			decided := make([]int, n)
+			var wg sync.WaitGroup
+			ones := 0
+			for pid := 0; pid < n; pid++ {
+				input := (pid + trial) % 2
+				ones += input
+				wg.Add(1)
+				go func(pid, input int) {
+					defer wg.Done()
+					v, err := d.Propose(pid, input)
+					if err != nil {
+						t.Errorf("n=%d trial=%d p%d: %v", n, trial, pid, err)
+						return
+					}
+					decided[pid] = v
+				}(pid, input)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			for pid := 1; pid < n; pid++ {
+				if decided[pid] != decided[0] {
+					t.Fatalf("n=%d trial=%d: agreement violated: %v", n, trial, decided)
+				}
+			}
+			if ones == 0 && decided[0] != 0 || ones == n && decided[0] != 1 {
+				t.Fatalf("n=%d trial=%d: validity violated: inputs unanimous, decided %d", n, trial, decided[0])
+			}
+		}
+	}
+}
+
+// TestDiskRaceNativeRegisterAudit is experiment E2's native side: the
+// protocol writes exactly n registers no matter how hard it races.
+func TestDiskRaceNativeRegisterAudit(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 64} {
+		d := NewDiskRace(n)
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				if _, err := d.Propose(pid, pid%2); err != nil {
+					t.Errorf("p%d: %v", pid, err)
+				}
+			}(pid)
+		}
+		wg.Wait()
+		stats := d.Stats()
+		if stats.Touched != n {
+			t.Fatalf("n=%d: %d registers written, want exactly n=%d", n, stats.Touched, n)
+		}
+		t.Logf("n=%d: %v", n, stats)
+	}
+}
+
+// TestAdoptCommitUnanimous checks property (a): unanimous proposals commit.
+func TestAdoptCommitUnanimous(t *testing.T) {
+	for _, v := range []int{0, 1} {
+		ac := NewAdoptCommit()
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				outcome, got := ac.Propose(v)
+				if outcome != Commit || got != v {
+					t.Errorf("unanimous %d: got (%v, %d)", v, outcome, got)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestAdoptCommitCoherence checks property (b) under contention: whenever
+// some process commits v, every other process leaves with v.
+func TestAdoptCommitCoherence(t *testing.T) {
+	for trial := 0; trial < 2000; trial++ {
+		ac := NewAdoptCommit()
+		const procs = 4
+		outcomes := make([]Outcome, procs)
+		values := make([]int, procs)
+		var wg sync.WaitGroup
+		for i := 0; i < procs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outcomes[i], values[i] = ac.Propose(i % 2)
+			}(i)
+		}
+		wg.Wait()
+		committed := -1
+		for i := 0; i < procs; i++ {
+			if outcomes[i] == Commit {
+				committed = values[i]
+			}
+		}
+		if committed < 0 {
+			continue
+		}
+		for i := 0; i < procs; i++ {
+			if values[i] != committed {
+				t.Fatalf("trial %d: p%d left with %d after commit of %d (outcomes=%v values=%v)",
+					trial, i, values[i], committed, outcomes, values)
+			}
+		}
+	}
+}
+
+// TestRandomizedAgreement is experiment E9: randomized consensus decides,
+// agrees and respects validity across sizes, and its flip counts stay sane.
+func TestRandomizedAgreement(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		for trial := 0; trial < 20; trial++ {
+			r := NewRandomized(n)
+			results := make([]Result, n)
+			var wg sync.WaitGroup
+			ones := 0
+			for pid := 0; pid < n; pid++ {
+				input := (pid ^ trial) % 2
+				ones += input
+				wg.Add(1)
+				go func(pid, input int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(trial*100 + pid)))
+					res, err := r.Propose(pid, input, rng)
+					if err != nil {
+						t.Errorf("p%d: %v", pid, err)
+						return
+					}
+					results[pid] = res
+				}(pid, input)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			for pid := 1; pid < n; pid++ {
+				if results[pid].Value != results[0].Value {
+					t.Fatalf("n=%d trial=%d: agreement violated: %+v", n, trial, results)
+				}
+			}
+			if ones == 0 && results[0].Value != 0 || ones == n && results[0].Value != 1 {
+				t.Fatalf("n=%d trial=%d: validity violated", n, trial)
+			}
+		}
+	}
+}
+
+// TestSharedCoinSolo checks the coin terminates for a lone flipper and
+// produces both signs across seeds.
+func TestSharedCoinSolo(t *testing.T) {
+	saw := map[int]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		sc := NewSharedCoin(3, 2)
+		v, flips := sc.Flip(0, rand.New(rand.NewSource(seed)))
+		if flips < 2*3 {
+			t.Fatalf("seed %d: crossed threshold in %d flips (< threshold)", seed, flips)
+		}
+		saw[v] = true
+	}
+	if !saw[0] || !saw[1] {
+		t.Fatalf("coin is constant across 20 seeds: %v", saw)
+	}
+}
+
+// TestAdoptCommitBothB machine-checks the key invariant of the adopt-commit
+// implementation: at most one of the second-stage bits B0, B1 is ever set,
+// because two "clean" first stages of opposite values cannot interleave
+// (each writes its own A bit before reading the other's).
+func TestAdoptCommitBothB(t *testing.T) {
+	for trial := 0; trial < 3000; trial++ {
+		ac := NewAdoptCommit()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ac.Propose(i % 2)
+			}(i)
+		}
+		wg.Wait()
+		if ac.bits.Read(acB0) && ac.bits.Read(acB1) {
+			t.Fatalf("trial %d: both B bits set", trial)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package native
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/register"
+)
+
+// SharedCoin is a weak shared coin from single-writer registers in the style
+// of Aspnes and Herlihy: each process repeatedly flips a local fair coin and
+// publishes its running ±1 sum in its own register; once the global sum
+// crosses ±threshold·n the process outputs the sign. With threshold c large
+// enough, with constant probability every process observes the same sign —
+// which is all randomized consensus needs (the paper's Section 1 cites this
+// line [AH90, AC08] as the way randomization circumvents FLP).
+type SharedCoin struct {
+	n         int
+	threshold int
+	sums      *register.Array[int64]
+}
+
+// NewSharedCoin returns a coin for n processes with drift threshold c·n
+// (c = 8 keeps single-sign probability comfortably constant).
+func NewSharedCoin(n, c int) *SharedCoin {
+	if c <= 0 {
+		c = 8
+	}
+	return &SharedCoin{n: n, threshold: c * n, sums: register.NewArray[int64](n)}
+}
+
+// Flip runs the coin for process pid using the provided local randomness
+// and returns 0 or 1. Flips counts this process's local coin flips.
+func (sc *SharedCoin) Flip(pid int, rng *rand.Rand) (value, flips int) {
+	var local int64
+	for {
+		flips++
+		if rng.Intn(2) == 0 {
+			local++
+		} else {
+			local--
+		}
+		sc.sums.Write(pid, local)
+		var total int64
+		for i := 0; i < sc.n; i++ {
+			total += sc.sums.Read(i)
+		}
+		switch {
+		case total >= int64(sc.threshold):
+			return 1, flips
+		case total <= -int64(sc.threshold):
+			return 0, flips
+		}
+	}
+}
+
+// Randomized is wait-free randomized binary consensus from registers, in
+// the Aspnes-Herlihy line cited by the paper's Section 1: each round runs a
+// coin-based conciliator followed by an adopt-commit object.
+//
+//	v := conciliate(r, v)      // unanimous with constant probability
+//	(d, w) := AC[r].Propose(v) // commit decides, adopt carries w forward
+//
+// Safety never depends on randomness: if any process commits w at round r,
+// adopt-commit coherence hands every process w at round r, the conciliator
+// of round r+1 preserves unanimity (its validity), and AC[r+1] commits w
+// everywhere. The conciliator is the two-bit first-mover race: publish your
+// value, keep it if the opposite bit is still clear, otherwise take the
+// round's weak shared coin. At most one value can have "keepers" in a round
+// (two clean reads of each other's unwritten bits cannot interleave), so
+// with the coin's single-sign probability the round ends unanimous —
+// constant expected rounds.
+//
+// Space: 6 bits of adopt-commit, 2 conciliator bits and n coin registers
+// per round, rounds preallocated — this is the "existing protocols use at
+// least n registers" side of the paper's Section 1, with register count
+// linear in n per round rather than the optimal total.
+type Randomized struct {
+	n      int
+	rounds []randround
+}
+
+type randround struct {
+	ac      *AdoptCommit
+	conBits *register.Array[bool]
+	coin    *SharedCoin
+}
+
+// MaxRounds bounds the preallocated round structure. The probability of
+// exhausting it is below 2^-MaxRounds for any adversary, since every round
+// ends unanimously with probability > 1/2 at threshold 8n.
+const MaxRounds = 64
+
+// NewRandomized returns an instance for n processes.
+func NewRandomized(n int) *Randomized {
+	r := &Randomized{n: n, rounds: make([]randround, MaxRounds)}
+	for i := range r.rounds {
+		r.rounds[i] = randround{
+			ac:      NewAdoptCommit(),
+			conBits: register.NewArray[bool](2),
+			coin:    NewSharedCoin(n, 8),
+		}
+	}
+	return r
+}
+
+// Result reports one process's outcome: the decided value, the round at
+// which it decided, and its total local coin flips (the work measure of
+// [AC08]'s total-step bounds).
+type Result struct {
+	Value int
+	Round int
+	Flips int
+}
+
+// Propose runs consensus for process pid with the given binary input and
+// source of local randomness.
+func (r *Randomized) Propose(pid, input int, rng *rand.Rand) (Result, error) {
+	if input != 0 && input != 1 {
+		return Result{}, fmt.Errorf("native: input must be binary, got %d", input)
+	}
+	v := input
+	flips := 0
+	for round := 0; round < len(r.rounds); round++ {
+		rr := r.rounds[round]
+		// Conciliator: publish v; keep it only if the opposite bit is
+		// still clear, otherwise defer to the round's shared coin.
+		rr.conBits.Write(v, true)
+		if rr.conBits.Read(1 - v) {
+			coinVal, n := rr.coin.Flip(pid, rng)
+			flips += n
+			v = coinVal
+		}
+		outcome, got := rr.ac.Propose(v)
+		if outcome == Commit {
+			return Result{Value: got, Round: round, Flips: flips}, nil
+		}
+		v = got
+	}
+	return Result{}, fmt.Errorf("native: no decision within %d rounds (probability < 2^-%d)",
+		len(r.rounds), len(r.rounds))
+}

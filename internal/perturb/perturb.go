@@ -1,0 +1,225 @@
+package perturb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Witness is the outcome of the perturbation adversary: a schedule after
+// which n-1 distinct registers are covered by poised writes, together with
+// the per-stage evidence that perturbation forced each extension.
+type Witness struct {
+	Protocol string
+	N        int
+	// Cover maps the covering processes p_1..p_{n-1} to their distinct
+	// registers B_1..B_{n-1}.
+	Cover map[int]int
+	// Registers is len(Cover), ≥ n-1.
+	Registers int
+	// Stages records the per-k evidence.
+	Stages []Stage
+	// ReaderSoloSteps is the length of the reader's solo operation after
+	// the final block write — the JTT time-complexity side (≥ n-1).
+	ReaderSoloSteps int
+}
+
+// Stage is the evidence for one induction step k -> k+1: with the first k
+// registers covered, a schedule λ by the fresh process changed the reader's
+// response, so the reader must access a register outside the cover — and
+// the fresh process is left poised on exactly such a register.
+type Stage struct {
+	K int
+	// Unperturbed and Perturbed are the reader's responses without and
+	// with λ inserted before the block write.
+	Unperturbed, Perturbed model.Value
+	// NewRegister is B_{k+1}, the register added to the cover.
+	NewRegister int
+}
+
+// String summarises the witness (one row of experiment E5).
+func (w *Witness) String() string {
+	regs := make([]int, 0, len(w.Cover))
+	for _, r := range w.Cover {
+		regs = append(regs, r)
+	}
+	sort.Ints(regs)
+	return fmt.Sprintf("%s n=%d: %d distinct registers covered %v (bound n-1=%d), reader solo steps=%d",
+		w.Protocol, w.N, w.Registers, regs, w.N-1, w.ReaderSoloSteps)
+}
+
+// Adversary runs the JTT induction against the SWCounter (or any machine
+// with the same interface conventions: decimal op budgets as inputs, the
+// last response decided). Process n-1 is the reader with a single
+// operation; processes 0..n-2 are the perturbing/covering processes.
+type Adversary struct {
+	machine model.Machine
+	// opBudget is the per-process operation budget; it only needs to
+	// exceed the number of ops the construction squeezes in (≤ n).
+	opBudget int
+	// soloCap bounds solo runs, catching non-obstruction-free machines.
+	soloCap int
+}
+
+// NewAdversary returns an adversary for the given counter-like machine.
+func NewAdversary(m model.Machine) *Adversary {
+	return &Adversary{machine: m, opBudget: 4, soloCap: 4096}
+}
+
+// Run builds the covering witness for n processes.
+func (a *Adversary) Run(n int) (*Witness, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("perturb: need n >= 2, got %d", n)
+	}
+	reader := n - 1
+	inputs := make([]model.Value, n)
+	for i := range inputs {
+		inputs[i] = model.Value(fmt.Sprintf("%d", a.opBudget))
+	}
+	inputs[reader] = "1" // the reader performs a single operation
+	c := model.NewConfig(a.machine, inputs)
+
+	w := &Witness{Protocol: a.machine.Name(), N: n, Cover: make(map[int]int, n-1)}
+	covered := make(map[int]bool, n-1)
+	cur := c // configuration after α_k (covering processes poised)
+
+	for k := 0; k < n-1; k++ {
+		fresh := k // p_{k+1} in the paper's 1-based numbering
+		// Evidence first: with cover {B_1..B_k}, a λ by the fresh
+		// process perturbs the reader through the block write.
+		unperturbed, err := a.readerResponse(cur, covered, reader)
+		if err != nil {
+			return nil, fmt.Errorf("perturb stage %d: %w", k, err)
+		}
+		lambda, err := a.oneOp(cur, fresh)
+		if err != nil {
+			return nil, fmt.Errorf("perturb stage %d: %w", k, err)
+		}
+		perturbed, err := a.readerResponse(model.RunPath(cur, lambda), covered, reader)
+		if err != nil {
+			return nil, fmt.Errorf("perturb stage %d (perturbed): %w", k, err)
+		}
+		if unperturbed == perturbed {
+			return nil, fmt.Errorf(
+				"perturb stage %d: object not perturbable: response %q unchanged by λ of p%d",
+				k, string(unperturbed), fresh)
+		}
+
+		// Extension: run the fresh process until it is poised to write
+		// a register outside the cover; that register joins the cover.
+		ext, reg, err := a.poiseOutside(cur, fresh, covered)
+		if err != nil {
+			return nil, fmt.Errorf("perturb stage %d: %w", k, err)
+		}
+		cur = model.RunPath(cur, ext)
+		covered[reg] = true
+		w.Cover[fresh] = reg
+		w.Stages = append(w.Stages, Stage{
+			K:           k,
+			Unperturbed: unperturbed,
+			Perturbed:   perturbed,
+			NewRegister: reg,
+		})
+	}
+
+	// Final accounting: distinct covers and the reader's solo cost after
+	// the full block write.
+	if len(w.Cover) != n-1 {
+		return nil, fmt.Errorf("perturb: covered %d registers, want %d", len(w.Cover), n-1)
+	}
+	w.Registers = len(w.Cover)
+	steps, err := a.soloSteps(blockWritten(cur, covered, reader), reader)
+	if err != nil {
+		return nil, err
+	}
+	w.ReaderSoloSteps = steps
+	return w, nil
+}
+
+// readerResponse applies the block write by the covering processes and then
+// runs the reader solo to completion, returning its decided response.
+func (a *Adversary) readerResponse(c model.Config, covered map[int]bool, reader int) (model.Value, error) {
+	d := blockWritten(c, covered, reader)
+	for step := 0; step < a.soloCap; step++ {
+		if v, ok := d.Decided(reader); ok {
+			return v, nil
+		}
+		d = d.StepDet(reader)
+	}
+	return model.Bottom, fmt.Errorf("reader p%d did not finish within %d solo steps", reader, a.soloCap)
+}
+
+// blockWritten fires the pending write of every covering process (one step
+// each). Processes that are not yet covering (early stages) take no step.
+func blockWritten(c model.Config, covered map[int]bool, reader int) model.Config {
+	for pid := 0; pid < c.NumProcesses(); pid++ {
+		if pid == reader {
+			continue
+		}
+		if _, ok := c.CoveredRegister(pid); ok {
+			c = c.StepDet(pid)
+		}
+	}
+	return c
+}
+
+// oneOp returns a schedule in which process pid completes at least one full
+// operation: it runs pid solo until its first write has been performed and
+// pid is poised on its next write (or has halted). Stopping at a write
+// boundary keeps the schedule operation-aligned for machines whose
+// operations end with a write (SWCounter) as well as those whose operations
+// begin with one (SWCollect); the trailing reads a machine performs between
+// the two writes cannot affect any other process.
+func (a *Adversary) oneOp(c model.Config, pid int) (model.Path, error) {
+	var path model.Path
+	wrote := false
+	for step := 0; step < a.soloCap; step++ {
+		op := c.State(pid).Pending()
+		switch op.Kind {
+		case model.OpDecide:
+			if wrote {
+				return path, nil
+			}
+			return nil, fmt.Errorf("p%d halted without writing (op budget exhausted?)", pid)
+		case model.OpWrite:
+			if wrote {
+				// Poised on the next operation's write: the first
+				// operation is complete.
+				return path, nil
+			}
+			wrote = true
+		}
+		path = append(path, model.Move{Pid: pid})
+		c = c.StepDet(pid)
+	}
+	return nil, fmt.Errorf("p%d did not complete an op within %d steps", pid, a.soloCap)
+}
+
+// poiseOutside runs pid solo until it is poised to write a register outside
+// the cover, returning the schedule and that register.
+func (a *Adversary) poiseOutside(c model.Config, pid int, covered map[int]bool) (model.Path, int, error) {
+	var path model.Path
+	for step := 0; step < a.soloCap; step++ {
+		if reg, ok := c.CoveredRegister(pid); ok && !covered[reg] {
+			return path, reg, nil
+		}
+		if _, done := c.Decided(pid); done {
+			return nil, 0, fmt.Errorf("p%d halted before covering a fresh register", pid)
+		}
+		path = append(path, model.Move{Pid: pid})
+		c = c.StepDet(pid)
+	}
+	return nil, 0, fmt.Errorf("p%d never poised outside the cover within %d steps", pid, a.soloCap)
+}
+
+// soloSteps counts the reader's solo steps to completion.
+func (a *Adversary) soloSteps(c model.Config, reader int) (int, error) {
+	for step := 0; step < a.soloCap; step++ {
+		if _, ok := c.Decided(reader); ok {
+			return step, nil
+		}
+		c = c.StepDet(reader)
+	}
+	return 0, fmt.Errorf("reader did not finish within %d steps", a.soloCap)
+}

@@ -1,0 +1,100 @@
+// Package register provides the native (goroutine) counterpart of the
+// abstract model: atomic multi-writer multi-reader registers with
+// instrumentation. The lower-bound experiments run in the abstract model
+// where every interleaving is adversary-controlled; this package is the
+// substrate for the native protocol implementations (internal/native,
+// internal/snapshot, internal/mutex) whose benchmarks measure real
+// concurrent behaviour.
+//
+// Everything here is linearizable by construction: registers delegate to
+// sync/atomic, and the instrumentation counters are updated with atomic
+// adds, so they never perturb protocol semantics.
+package register
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Atomic is an atomic register holding values of type T. Values stored must
+// be treated as immutable by callers (store-then-mutate is a race). The zero
+// value is a register holding the zero value of T.
+type Atomic[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// Read returns the current contents.
+func (r *Atomic[T]) Read() T {
+	if p := r.p.Load(); p != nil {
+		return *p
+	}
+	var zero T
+	return zero
+}
+
+// Write replaces the contents.
+func (r *Atomic[T]) Write(v T) {
+	r.p.Store(&v)
+}
+
+// Stats aggregates the activity observed by an instrumented Array.
+type Stats struct {
+	// Reads and Writes count operations.
+	Reads, Writes int64
+	// Touched is the number of distinct registers written at least once —
+	// the quantity the paper's space bound is about.
+	Touched int
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d registers-written=%d", s.Reads, s.Writes, s.Touched)
+}
+
+// Array is an instrumented array of atomic registers. It counts reads,
+// writes, and distinct registers written, so protocol implementations can be
+// audited against their declared space usage.
+type Array[T any] struct {
+	regs   []Atomic[T]
+	reads  atomic.Int64
+	writes atomic.Int64
+	dirty  []atomic.Bool
+}
+
+// NewArray returns an array of n zero-valued registers.
+func NewArray[T any](n int) *Array[T] {
+	return &Array[T]{
+		regs:  make([]Atomic[T], n),
+		dirty: make([]atomic.Bool, n),
+	}
+}
+
+// Len returns the number of registers.
+func (a *Array[T]) Len() int { return len(a.regs) }
+
+// Read returns the contents of register i.
+func (a *Array[T]) Read(i int) T {
+	a.reads.Add(1)
+	return a.regs[i].Read()
+}
+
+// Write stores v in register i.
+func (a *Array[T]) Write(i int, v T) {
+	a.writes.Add(1)
+	a.dirty[i].Store(true)
+	a.regs[i].Write(v)
+}
+
+// Stats returns a snapshot of the instrumentation counters.
+func (a *Array[T]) Stats() Stats {
+	s := Stats{
+		Reads:  a.reads.Load(),
+		Writes: a.writes.Load(),
+	}
+	for i := range a.dirty {
+		if a.dirty[i].Load() {
+			s.Touched++
+		}
+	}
+	return s
+}

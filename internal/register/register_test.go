@@ -1,0 +1,76 @@
+package register
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/linearize"
+)
+
+func TestAtomicZeroValue(t *testing.T) {
+	var r Atomic[int]
+	if got := r.Read(); got != 0 {
+		t.Fatalf("zero-value read = %d", got)
+	}
+	r.Write(42)
+	if got := r.Read(); got != 42 {
+		t.Fatalf("read = %d, want 42", got)
+	}
+}
+
+func TestArrayStats(t *testing.T) {
+	a := NewArray[int64](4)
+	a.Write(1, 10)
+	a.Write(1, 11)
+	a.Write(3, 12)
+	_ = a.Read(0)
+	_ = a.Read(1)
+	s := a.Stats()
+	if s.Writes != 3 || s.Reads != 2 || s.Touched != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if !strings.Contains(s.String(), "registers-written=2") {
+		t.Fatalf("stats string: %q", s.String())
+	}
+}
+
+// TestRegisterLinearizable hammers one register from several goroutines and
+// checks the recorded history against the sequential register spec.
+func TestRegisterLinearizable(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		a := NewArray[int64](1)
+		var rec linearize.Recorder
+		var wg sync.WaitGroup
+		for pid := 0; pid < 3; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					if (pid+i)%2 == 0 {
+						v := int64(pid*10 + i + 1)
+						p := rec.Invoke(pid, "write", strconv.FormatInt(v, 10))
+						a.Write(0, v)
+						p.Done("")
+					} else {
+						p := rec.Invoke(pid, "read", "")
+						v := a.Read(0)
+						p.Done(strconv.FormatInt(v, 10))
+					}
+				}
+			}(pid)
+		}
+		wg.Wait()
+		ok, err := linearize.Check(linearize.RegisterSpec(), rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: register history not linearizable:\n%v", trial, rec.History())
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package snapshot implements a wait-free single-writer atomic snapshot
+// object from registers (Afek, Attiya, Dolev, Gafni, Merritt, Shavit 1993).
+// Atomic snapshot is one of the objects in set A of the Jayanti-Tan-Toueg
+// theorem reproduced from the provided text (deck part I.1): any nonblocking
+// implementation needs at least n-1 registers; this one uses exactly n.
+//
+// Each process owns one segment holding (value, sequence number, embedded
+// view). Update writes the new value together with a fresh scan; Scan
+// performs repeated collects and either returns a clean double collect or
+// borrows the embedded view of a process observed to move twice (which must
+// have completed a full scan within the observer's interval).
+package snapshot
+
+import (
+	"fmt"
+
+	"repro/internal/register"
+)
+
+// View is the result of a scan: one value per process.
+type View []int64
+
+// segment is one process's register contents.
+type segment struct {
+	value int64
+	seq   uint64
+	view  View // embedded scan, set by Update
+}
+
+// Snapshot is a wait-free n-process single-writer snapshot object.
+// Create with New; the zero value is unusable.
+type Snapshot struct {
+	n    int
+	segs *register.Array[segment]
+}
+
+// New returns a snapshot object for n processes with all values zero.
+func New(n int) *Snapshot {
+	return &Snapshot{n: n, segs: register.NewArray[segment](n)}
+}
+
+// Stats exposes register instrumentation for the space audits.
+func (s *Snapshot) Stats() register.Stats { return s.segs.Stats() }
+
+// N returns the number of segments.
+func (s *Snapshot) N() int { return s.n }
+
+// Update sets process pid's segment to value. It embeds a fresh scan so
+// that concurrent scanners can linearize against it (the helping mechanism
+// that makes Scan wait-free).
+func (s *Snapshot) Update(pid int, value int64) error {
+	if pid < 0 || pid >= s.n {
+		return fmt.Errorf("snapshot: pid %d out of range [0,%d)", pid, s.n)
+	}
+	view := s.Scan(pid)
+	old := s.segs.Read(pid)
+	s.segs.Write(pid, segment{value: value, seq: old.seq + 1, view: view})
+	return nil
+}
+
+// Scan returns an atomic view of all segments. pid identifies the scanner
+// (only used to bound helping); the returned view is a fresh copy.
+func (s *Snapshot) Scan(pid int) View {
+	moved := make(map[int]int, s.n)
+	prev := s.collect()
+	for {
+		cur := s.collect()
+		if equalSeqs(prev, cur) {
+			// Clean double collect: no segment changed between the
+			// two collects, so the second one is an atomic view.
+			return values(cur)
+		}
+		for i := range cur {
+			if cur[i].seq != prev[i].seq {
+				moved[i]++
+				if moved[i] >= 2 && cur[i].view != nil {
+					// Process i completed two updates during
+					// our scan; its second embedded view was
+					// taken entirely within our interval and
+					// is therefore a valid result for us.
+					out := make(View, len(cur[i].view))
+					copy(out, cur[i].view)
+					return out
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+func (s *Snapshot) collect() []segment {
+	out := make([]segment, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.segs.Read(i)
+	}
+	return out
+}
+
+func equalSeqs(a, b []segment) bool {
+	for i := range a {
+		if a[i].seq != b[i].seq {
+			return false
+		}
+	}
+	return true
+}
+
+func values(segs []segment) View {
+	out := make(View, len(segs))
+	for i := range segs {
+		out[i] = segs[i].value
+	}
+	return out
+}
+
+// Counter is a fetch&increment counter built on the snapshot: each process
+// increments its own segment and reads by summing a scan. It is the
+// perturbable object driven by the JTT perturbation adversary in
+// internal/perturb (there in model form; this native form backs the
+// examples and benchmarks).
+type Counter struct {
+	snap *Snapshot
+}
+
+// NewCounter returns a counter for n processes.
+func NewCounter(n int) *Counter { return &Counter{snap: New(n)} }
+
+// Stats exposes register instrumentation.
+func (c *Counter) Stats() register.Stats { return c.snap.Stats() }
+
+// Inc adds one to process pid's share. The increment linearizes at the
+// segment write (only pid writes its own segment, so no increment is ever
+// lost). Note this is a counter, not a fetch&increment: the object's reads
+// are linearizable, but no single returned value identifies the increment's
+// serialisation point.
+func (c *Counter) Inc(pid int) error {
+	view := c.snap.Scan(pid)
+	return c.snap.Update(pid, view[pid]+1)
+}
+
+// Read returns the current counter value.
+func (c *Counter) Read(pid int) int64 {
+	var sum int64
+	for _, v := range c.snap.Scan(pid) {
+		sum += v
+	}
+	return sum
+}

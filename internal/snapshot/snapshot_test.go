@@ -1,0 +1,150 @@
+package snapshot
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/linearize"
+)
+
+// TestSnapshotLinearizable drives concurrent updates and scans through the
+// live object and checks the recorded history against the sequential
+// snapshot specification with the Wing-Gong checker.
+func TestSnapshotLinearizable(t *testing.T) {
+	const n = 3
+	for trial := 0; trial < 200; trial++ {
+		s := New(n)
+		var rec linearize.Recorder
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					v := int64(pid*10 + i + 1)
+					p := rec.Invoke(pid, "update", fmt.Sprintf("%d=%d", pid, v))
+					if err := s.Update(pid, v); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+					p.Done("")
+					q := rec.Invoke(pid, "scan", "")
+					q.Done(viewString(s.Scan(pid)))
+				}
+			}(pid)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		ok, err := linearize.Check(linearize.SnapshotSpec(n), rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: history not linearizable:\n%v", trial, rec.History())
+		}
+	}
+}
+
+// TestCounterLinearizable does the same for the snapshot-based counter.
+func TestCounterLinearizable(t *testing.T) {
+	const n = 4
+	for trial := 0; trial < 200; trial++ {
+		c := NewCounter(n)
+		var rec linearize.Recorder
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for i := 0; i < 2; i++ {
+					p := rec.Invoke(pid, "inc", "")
+					if err := c.Inc(pid); err != nil {
+						t.Errorf("inc: %v", err)
+						return
+					}
+					p.Done("")
+					q := rec.Invoke(pid, "read", "")
+					q.Done(strconv.FormatInt(c.Read(pid), 10))
+				}
+			}(pid)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		ok, err := linearize.Check(linearize.CounterSpec(), rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: counter history not linearizable:\n%v", trial, rec.History())
+		}
+	}
+}
+
+// TestSnapshotSpaceAudit confirms the object uses exactly n registers — the
+// matching upper bound for the JTT n-1 lower bound on snapshots.
+func TestSnapshotSpaceAudit(t *testing.T) {
+	for _, n := range []int{2, 5, 16} {
+		s := New(n)
+		var wg sync.WaitGroup
+		for pid := 0; pid < n; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					if err := s.Update(pid, int64(i)); err != nil {
+						t.Errorf("update: %v", err)
+					}
+					s.Scan(pid)
+				}
+			}(pid)
+		}
+		wg.Wait()
+		if got := s.Stats().Touched; got != n {
+			t.Fatalf("n=%d: %d registers written, want n", n, got)
+		}
+	}
+}
+
+// TestScanSeesOwnUpdate is the single-process sanity check.
+func TestScanSeesOwnUpdate(t *testing.T) {
+	s := New(2)
+	if err := s.Update(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Scan(0)
+	if v[0] != 42 || v[1] != 0 {
+		t.Fatalf("Scan = %v, want [42 0]", v)
+	}
+	if err := s.Update(1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Scan(1); got[0] != 42 || got[1] != -1 {
+		t.Fatalf("Scan = %v, want [42 -1]", got)
+	}
+}
+
+// TestUpdateRejectsBadPid covers the error path.
+func TestUpdateRejectsBadPid(t *testing.T) {
+	s := New(2)
+	if err := s.Update(2, 1); err == nil {
+		t.Fatal("expected error for out-of-range pid")
+	}
+	if err := s.Update(-1, 1); err == nil {
+		t.Fatal("expected error for negative pid")
+	}
+}
+
+func viewString(v View) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.FormatInt(x, 10)
+	}
+	return strings.Join(parts, ",")
+}

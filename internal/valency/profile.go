@@ -1,0 +1,100 @@
+package valency
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// Profile classifies every configuration reachable by p-only executions
+// from c according to the valency of p: the quantified version of the
+// FLP/valency picture the paper's Section 3.1 builds on. For a correct
+// binary consensus protocol the landscape obeys:
+//
+//   - configurations with a decided process are univalent for that value
+//     (Proposition 1(iv)),
+//   - univalent regions absorb: successors of a v-univalent configuration
+//     are v-univalent,
+//   - the initial mixed-input configuration is bivalent (Proposition 2).
+//
+// ProfileReport records the landscape; Oracle.Profile verifies the three
+// laws while building it and errors on any violation, making the profile
+// itself another protocol check.
+type ProfileReport struct {
+	Protocol string
+	// Bivalent, Zero and One count configurations by valency of p.
+	Bivalent, Zero, One int
+	// Decided counts configurations where some process has decided.
+	Decided int
+}
+
+// Total returns the number of configurations classified.
+func (r ProfileReport) Total() int { return r.Bivalent + r.Zero + r.One }
+
+// String renders the landscape in one line.
+func (r ProfileReport) String() string {
+	return fmt.Sprintf("%s: %d configurations: %d bivalent, %d 0-univalent, %d 1-univalent (%d with decisions)",
+		r.Protocol, r.Total(), r.Bivalent, r.Zero, r.One, r.Decided)
+}
+
+// Profile explores the p-only reachable space of c and classifies every
+// configuration, verifying the valency laws along the way.
+func (o *Oracle) Profile(name string, c model.Config, p []int) (ProfileReport, error) {
+	report := ProfileReport{Protocol: name}
+	type entry struct {
+		cfg model.Config
+		id  int
+	}
+	var kept []entry
+	res, err := explore.Reach(c, p, o.opts, func(v explore.Visit) bool {
+		kept = append(kept, entry{cfg: v.Config, id: v.ID})
+		return true
+	})
+	if err != nil {
+		return report, fmt.Errorf("valency profile: %w", err)
+	}
+	_ = res
+	verdicts := make(map[int]*Verdict, len(kept))
+	for _, e := range kept {
+		v, err := o.Decidable(e.cfg, p)
+		if err != nil {
+			return report, fmt.Errorf("valency profile: %w", err)
+		}
+		verdicts[e.id] = v
+		decided := e.cfg.DecidedValues()
+		if len(decided) > 0 {
+			report.Decided++
+		}
+		switch {
+		case v.Bivalent():
+			if len(decided) > 0 {
+				return report, fmt.Errorf(
+					"valency law violated: bivalent configuration with a decision (protocol broken)")
+			}
+			report.Bivalent++
+		case v.Decidable[V0]:
+			report.Zero++
+		case v.Decidable[V1]:
+			report.One++
+		default:
+			return report, fmt.Errorf("valency law violated: configuration decides nothing")
+		}
+		// Absorption: every successor of a univalent configuration is
+		// univalent for the same value.
+		if val, ok := v.Univalent(); ok {
+			for _, mv := range explore.Moves(e.cfg, p) {
+				succ, err := o.Decidable(explore.Apply(e.cfg, mv), p)
+				if err != nil {
+					return report, fmt.Errorf("valency profile: %w", err)
+				}
+				if got, uok := succ.Univalent(); !uok || got != val {
+					return report, fmt.Errorf(
+						"valency law violated: %s-univalent configuration has a non-%s-univalent successor",
+						string(val), string(val))
+				}
+			}
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,223 @@
+// Package valency implements the refined notion of valency from Section 3.1
+// of Zhu's "A Tight Space Bound for Consensus": for a reachable configuration
+// C and a non-empty set of processes P, the set of values P can decide from C
+// via P-only executions (Definition 1), together with bivalence/univalence
+// tests and witness executions.
+//
+// The paper treats "P can decide v from C" as a mathematical quantifier. The
+// Oracle decides it by exhaustive P-only exploration (internal/explore) with
+// memoisation on canonical configuration keys. For the finite-state protocols
+// this repository studies the answer is exact; if a protocol's reachable
+// space exceeds the configured caps the oracle fails loudly rather than
+// guessing.
+package valency
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// Binary consensus values, as in the paper.
+const (
+	V0 = model.Value("0")
+	V1 = model.Value("1")
+)
+
+// Opposite returns the other binary value (v̄ in the paper).
+func Opposite(v model.Value) model.Value {
+	if v == V0 {
+		return V1
+	}
+	return V0
+}
+
+// Oracle answers valency queries for one protocol instance. It memoises
+// decidable-value sets keyed by (configuration, process set), which the
+// adversary constructions in internal/adversary query heavily along
+// overlapping prefixes.
+type Oracle struct {
+	opts  explore.Options
+	memo  map[string]*Verdict
+	stats Stats
+}
+
+// Stats reports the work an oracle has done, for the experiment tables.
+type Stats struct {
+	// Queries counts Decidable calls, Hits the memoised ones.
+	Queries, Hits int
+	// Configs is the total number of distinct configurations visited
+	// across all non-memoised queries.
+	Configs int
+}
+
+// Verdict is the answer to one valency query.
+type Verdict struct {
+	// Decidable is the set of values decidable by P-only executions.
+	Decidable map[model.Value]bool
+	// Witness maps each decidable value to a P-only path from C to a
+	// configuration in which that value has been decided.
+	Witness map[model.Value]model.Path
+}
+
+// Bivalent reports whether both binary values are decidable.
+func (v *Verdict) Bivalent() bool {
+	return v.Decidable[V0] && v.Decidable[V1]
+}
+
+// Univalent returns the unique decidable value, if exactly one.
+func (v *Verdict) Univalent() (model.Value, bool) {
+	if len(v.Decidable) != 1 {
+		return model.Bottom, false
+	}
+	for val := range v.Decidable {
+		return val, true
+	}
+	return model.Bottom, false
+}
+
+// Any returns some decidable value (Proposition 1(i) guarantees one exists
+// for correct protocols). The boolean is false for a protocol that can reach
+// a decision-free sink, which would itself violate solo termination.
+func (v *Verdict) Any() (model.Value, bool) {
+	for val := range v.Decidable {
+		return val, true
+	}
+	return model.Bottom, false
+}
+
+// New returns an oracle using the given exploration bounds.
+func New(opts explore.Options) *Oracle {
+	return &Oracle{
+		opts: opts,
+		memo: make(map[string]*Verdict),
+	}
+}
+
+// Stats returns a copy of the oracle's work counters.
+func (o *Oracle) Stats() Stats { return o.stats }
+
+func (o *Oracle) queryKey(c model.Config, p []int) string {
+	var b strings.Builder
+	b.WriteString(o.opts.ConfigKey(c))
+	b.WriteByte('#')
+	for _, pid := range p {
+		b.WriteString(strconv.Itoa(pid))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Decidable computes the set of values the process set p can decide from c
+// (Definition 1), with witness executions. p must be non-empty and sorted
+// (use model.PidList / model.Without to build process sets).
+func (o *Oracle) Decidable(c model.Config, p []int) (*Verdict, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("valency: empty process set")
+	}
+	o.stats.Queries++
+	key := o.queryKey(c, p)
+	if v, ok := o.memo[key]; ok {
+		o.stats.Hits++
+		return v, nil
+	}
+	verdict := &Verdict{
+		Decidable: make(map[model.Value]bool),
+		Witness:   make(map[model.Value]model.Path),
+	}
+	witnessIDs := make(map[model.Value]int)
+	res, err := explore.Reach(c, p, o.opts, func(v explore.Visit) bool {
+		for val := range v.Config.DecidedValues() {
+			if !verdict.Decidable[val] {
+				verdict.Decidable[val] = true
+				witnessIDs[val] = v.ID
+			}
+		}
+		// Both binary values found: executions witnessing them are
+		// already recorded, so the query can stop here — for valency,
+		// bivalence is maximal knowledge.
+		return !(verdict.Decidable[V0] && verdict.Decidable[V1])
+	})
+	o.stats.Configs += res.Count
+	// A capped search that already proved bivalence is still exact:
+	// decidable sets only grow, and {0,1} is maximal.
+	if err != nil && !verdict.Bivalent() {
+		return nil, fmt.Errorf("valency query |P|=%d: %w", len(p), err)
+	}
+	for val, id := range witnessIDs {
+		path, ok := res.PathTo(id)
+		if !ok {
+			return nil, fmt.Errorf("valency: lost witness for %q", string(val))
+		}
+		verdict.Witness[val] = path
+	}
+	o.memo[key] = verdict
+	return verdict, nil
+}
+
+// Bivalent reports whether p is bivalent from c (Definition 1).
+func (o *Oracle) Bivalent(c model.Config, p []int) (bool, error) {
+	v, err := o.Decidable(c, p)
+	if err != nil {
+		return false, err
+	}
+	return v.Bivalent(), nil
+}
+
+// CanDecide reports whether p can decide val from c.
+func (o *Oracle) CanDecide(c model.Config, p []int, val model.Value) (bool, error) {
+	v, err := o.Decidable(c, p)
+	if err != nil {
+		return false, err
+	}
+	return v.Decidable[val], nil
+}
+
+// Univalent reports whether p is v-univalent from c for some v, returning v.
+func (o *Oracle) Univalent(c model.Config, p []int) (model.Value, bool, error) {
+	v, err := o.Decidable(c, p)
+	if err != nil {
+		return model.Bottom, false, err
+	}
+	val, ok := v.Univalent()
+	return val, ok, nil
+}
+
+// SoloDeciding returns a {pid}-only execution from c in which pid decides,
+// together with the decided value. Its existence for every reachable c and
+// every pid is exactly the paper's "nondeterministic solo terminating"
+// hypothesis; an error therefore means the protocol under test is not NST
+// within the oracle's bounds.
+func (o *Oracle) SoloDeciding(c model.Config, pid int) (model.Path, model.Value, error) {
+	if v, ok := c.Decided(pid); ok {
+		return nil, v, nil
+	}
+	var (
+		decided model.Value
+		foundID = -1
+	)
+	res, err := explore.Reach(c, []int{pid}, o.opts, func(v explore.Visit) bool {
+		if val, ok := v.Config.Decided(pid); ok {
+			decided = val
+			foundID = v.ID
+			return false // stop: witness located
+		}
+		return true
+	})
+	if foundID < 0 {
+		if err != nil {
+			return nil, model.Bottom, fmt.Errorf("solo termination search for p%d: %w", pid, err)
+		}
+		return nil, model.Bottom, fmt.Errorf(
+			"protocol is not solo terminating: p%d cannot decide solo (%d configs searched)",
+			pid, res.Count)
+	}
+	path, ok := res.PathTo(foundID)
+	if !ok {
+		return nil, model.Bottom, fmt.Errorf("valency: lost solo witness for p%d", pid)
+	}
+	return path, decided, nil
+}

@@ -1,0 +1,190 @@
+package valency
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+func floodConfig(inputs ...model.Value) model.Config {
+	return model.NewConfig(consensus.Flood{}, inputs)
+}
+
+func TestOppositeValues(t *testing.T) {
+	if Opposite(V0) != V1 || Opposite(V1) != V0 {
+		t.Fatal("Opposite is wrong")
+	}
+}
+
+// TestDefinition1OnFlood pins the textbook facts at n=2: mixed inputs are
+// bivalent for the pair, each singleton is univalent for its own input
+// (Proposition 2), and unanimous inputs are univalent for everyone.
+func TestDefinition1OnFlood(t *testing.T) {
+	o := New(explore.Options{})
+	mixed := floodConfig("0", "1")
+
+	v, err := o.Decidable(mixed, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bivalent() {
+		t.Fatalf("pair not bivalent from mixed inputs: %v", v.Decidable)
+	}
+	for pid, want := range map[int]model.Value{0: V0, 1: V1} {
+		v, err := o.Decidable(mixed, []int{pid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := v.Univalent()
+		if !ok || got != want {
+			t.Fatalf("{p%d} decidable = %v, want univalent %s", pid, v.Decidable, string(want))
+		}
+	}
+
+	same := floodConfig("1", "1")
+	v, err = o.Decidable(same, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := v.Univalent(); !ok || got != V1 {
+		t.Fatalf("unanimous inputs decidable = %v", v.Decidable)
+	}
+}
+
+// TestProposition1Properties property-checks Proposition 1 (i)-(iii) on
+// random reachable flood configurations at n=2: (i) non-empty sets decide
+// something; (ii) supersets inherit decidable values; (iii) subsets of
+// univalent sets stay univalent with the same value.
+func TestProposition1Properties(t *testing.T) {
+	o := New(explore.Options{})
+	rng := rand.New(rand.NewSource(3))
+	sets := [][]int{{0}, {1}, {0, 1}}
+	for trial := 0; trial < 150; trial++ {
+		c := floodConfig("0", "1")
+		for s := 0; s < rng.Intn(14); s++ {
+			c = c.StepDet(rng.Intn(2))
+		}
+		verdicts := make(map[int]*Verdict, 3)
+		for i, set := range sets {
+			v, err := o.Decidable(c, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := v.Any(); !ok {
+				t.Fatalf("trial %d: set %v decides nothing (Prop 1(i))", trial, set)
+			}
+			verdicts[i] = v
+		}
+		pair := verdicts[2]
+		for i := 0; i <= 1; i++ {
+			for val := range verdicts[i].Decidable {
+				if !pair.Decidable[val] {
+					t.Fatalf("trial %d: {p%d} decides %s but the pair does not (Prop 1(ii))",
+						trial, i, string(val))
+				}
+			}
+		}
+		if val, ok := pair.Univalent(); ok {
+			for i := 0; i <= 1; i++ {
+				got, uok := verdicts[i].Univalent()
+				if !uok || got != val {
+					t.Fatalf("trial %d: pair %s-univalent but {p%d} decidable = %v (Prop 1(iii))",
+						trial, string(val), i, verdicts[i].Decidable)
+				}
+			}
+		}
+	}
+}
+
+// TestWitnessesReplay checks that every witness path actually decides the
+// claimed value when replayed.
+func TestWitnessesReplay(t *testing.T) {
+	o := New(explore.Options{})
+	c := floodConfig("0", "1")
+	v, err := o.Decidable(c, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for val, path := range v.Witness {
+		end := model.RunPath(c, path)
+		if !end.DecidedValues()[val] {
+			t.Fatalf("witness for %s does not decide it", string(val))
+		}
+	}
+}
+
+// TestMemoisation verifies queries are cached by configuration and set.
+func TestMemoisation(t *testing.T) {
+	o := New(explore.Options{})
+	c := floodConfig("0", "1")
+	if _, err := o.Decidable(c, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Decidable(c, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	s := o.Stats()
+	if s.Queries != 2 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want one memo hit", s)
+	}
+}
+
+// TestSoloDeciding exercises the NST witness search.
+func TestSoloDeciding(t *testing.T) {
+	o := New(explore.Options{})
+	c := floodConfig("0", "1")
+	path, val, err := o.SoloDeciding(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != V1 {
+		t.Fatalf("p1 solo decides %s, want its input 1", string(val))
+	}
+	end := model.RunPath(c, path)
+	if got, ok := end.Decided(1); !ok || got != V1 {
+		t.Fatal("solo witness path does not decide")
+	}
+	// Already-decided processes return immediately.
+	if _, val, err := o.SoloDeciding(end, 1); err != nil || val != V1 {
+		t.Fatalf("decided process: (%s, %v)", string(val), err)
+	}
+}
+
+// TestEmptySetRejected covers the error path.
+func TestEmptySetRejected(t *testing.T) {
+	o := New(explore.Options{})
+	if _, err := o.Decidable(floodConfig("0", "1"), nil); err == nil {
+		t.Fatal("expected error for empty process set")
+	}
+}
+
+// TestProfileFloodN2 builds the full valency landscape of the verified n=2
+// protocol and checks the FLP/valency laws at every configuration.
+func TestProfileFloodN2(t *testing.T) {
+	o := New(explore.Options{})
+	c := floodConfig("0", "1")
+	report, err := o.Profile("flood(0,1)", c, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Bivalent == 0 {
+		t.Fatal("no bivalent configurations: Proposition 2 should give at least the initial one")
+	}
+	if report.Zero == 0 || report.One == 0 {
+		t.Fatalf("one-sided landscape: %v", report)
+	}
+	t.Logf("%v", report)
+
+	// Unanimous inputs: the whole landscape must be univalent.
+	same, err := o.Profile("flood(1,1)", floodConfig("1", "1"), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Bivalent != 0 || same.Zero != 0 {
+		t.Fatalf("unanimous-input landscape not all 1-univalent: %v", same)
+	}
+	t.Logf("%v", same)
+}
