@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strconv"
@@ -50,7 +51,7 @@ func BenchmarkTheorem1(b *testing.B) {
 			var regs, configs int
 			for i := 0; i < b.N; i++ {
 				engine := adversary.New(valency.New(tc.opts))
-				w, err := engine.Theorem1(tc.machine, tc.n)
+				w, err := engine.Theorem1(context.Background(), tc.machine, tc.n)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -118,7 +119,7 @@ func BenchmarkValency(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				oracle := valency.New(tc.opts)
 				c := model.NewConfig(tc.machine, inputs)
-				v, err := oracle.Decidable(c, all)
+				v, err := oracle.Decidable(context.Background(), c, all)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -138,7 +139,7 @@ func BenchmarkLemmas(b *testing.B) {
 	all := []int{0, 1, 2}
 	setup := func(b *testing.B) (*adversary.Engine, model.Config) {
 		engine := adversary.New(valency.New(diskOpts()))
-		c, err := engine.InitialBivalent(consensus.DiskRace{}, 3)
+		c, err := engine.InitialBivalent(context.Background(), consensus.DiskRace{}, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func BenchmarkLemmas(b *testing.B) {
 	b.Run("lemma1", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			engine, c := setup(b)
-			if _, _, err := engine.Lemma1(c, all); err != nil {
+			if _, _, err := engine.Lemma1(context.Background(), c, all); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -155,7 +156,7 @@ func BenchmarkLemmas(b *testing.B) {
 	b.Run("lemma4", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			engine, c := setup(b)
-			if _, err := engine.Lemma4(c, all); err != nil {
+			if _, err := engine.Lemma4(context.Background(), c, all); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -163,12 +164,12 @@ func BenchmarkLemmas(b *testing.B) {
 	b.Run("lemma3+lemma2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			engine, c := setup(b)
-			l4, err := engine.Lemma4(c, all)
+			l4, err := engine.Lemma4(context.Background(), c, all)
 			if err != nil {
 				b.Fatal(err)
 			}
 			r := model.Without(all, l4.Q...)
-			phi, q, err := engine.Lemma3(l4.Config, all, r)
+			phi, q, err := engine.Lemma3(context.Background(), l4.Config, all, r)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -176,7 +177,7 @@ func BenchmarkLemmas(b *testing.B) {
 			if z == q {
 				z = l4.Q[1]
 			}
-			if _, _, err := engine.Lemma2(model.RunPath(l4.Config, phi), r, z); err != nil {
+			if _, _, err := engine.Lemma2(context.Background(), model.RunPath(l4.Config, phi), r, z); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -331,7 +332,7 @@ func BenchmarkModelCheck(b *testing.B) {
 	b.Run("flood/n=2/exhaustive", func(b *testing.B) {
 		var configs int
 		for i := 0; i < b.N; i++ {
-			report, err := check.Consensus(consensus.Flood{}, 2, check.Options{})
+			report, err := check.Consensus(context.Background(), consensus.Flood{}, 2, check.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -345,7 +346,7 @@ func BenchmarkModelCheck(b *testing.B) {
 	b.Run("diskrace/n=2/exhaustive", func(b *testing.B) {
 		var configs int
 		for i := 0; i < b.N; i++ {
-			report, err := check.Consensus(consensus.DiskRace{}, 2, check.Options{Explore: diskOpts()})
+			report, err := check.Consensus(context.Background(), consensus.DiskRace{}, 2, check.Options{Explore: diskOpts()})
 			if err != nil {
 				b.Fatal(err)
 			}

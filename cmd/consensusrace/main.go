@@ -1,10 +1,17 @@
 // Command consensusrace runs the native protocols under real goroutine
 // concurrency and prints agreement outcomes and register audits
-// (experiments E2 and E9).
+// (experiments E2 and E9). With -faults it runs DiskRace under
+// deterministic, replayable fault plans instead of free-running goroutines:
+// crashes land at exact per-process operation indices and every run is
+// watchdog-guarded.
 //
 // Usage:
 //
 //	consensusrace [-n 8] [-trials 20] [-randomized]
+//	              [-timeout 10s] [-seed 1] [-faults off|random|exhaustive]
+//
+// Exit codes: 0 on success, 2 on an agreement/audit violation, 1 on any
+// other failure.
 package main
 
 import (
@@ -13,29 +20,45 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/native"
 )
 
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "consensusrace:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	n := flag.Int("n", 8, "number of processes")
 	trials := flag.Int("trials", 20, "number of independent races")
 	randomized := flag.Bool("randomized", false, "race the randomized protocol instead of DiskRace")
+	timeout := flag.Duration("timeout", 10*time.Second, "watchdog per fault-injected run")
+	seed := flag.Int64("seed", 1, "seed for fault-plan generation")
+	faultMode := flag.String("faults", "off", "fault injection: off, random, exhaustive")
 	flag.Parse()
+
+	if *faultMode != "off" {
+		if *randomized {
+			return 1, fmt.Errorf("-faults applies to DiskRace only (drop -randomized)")
+		}
+		return runFaulty(*n, *trials, *seed, *faultMode, *timeout)
+	}
 
 	decidedOnes := 0
 	var flips int
 	for trial := 0; trial < *trials; trial++ {
 		v, f, err := race(*n, trial, *randomized)
 		if err != nil {
-			return err
+			return 2, err
 		}
 		decidedOnes += v
 		flips += f
@@ -49,7 +72,58 @@ func run() error {
 		fmt.Printf("; %d total coin flips", flips)
 	}
 	fmt.Println()
-	return nil
+	return 0, nil
+}
+
+// runFaulty races DiskRace under generated fault plans: every surviving
+// decider must agree in every run, and no plan may wedge past the watchdog.
+func runFaulty(n, trials int, seed int64, mode string, timeout time.Duration) (int, error) {
+	var plans []faults.Plan
+	switch mode {
+	case "random":
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < trials; i++ {
+			crashes := 1
+			if n > 2 {
+				crashes += rng.Intn(n - 1)
+			}
+			plans = append(plans, faults.Random(rng.Int63(), n, crashes, 1+rng.Intn(8*n)))
+		}
+	case "exhaustive":
+		plans = faults.ExhaustiveSmall(n, 4*n)
+	default:
+		return 1, fmt.Errorf("unknown -faults mode %q (want off, random or exhaustive)", mode)
+	}
+
+	crashed, watchdogs := 0, 0
+	for i, plan := range plans {
+		inputs := make([]int, n)
+		for pid := range inputs {
+			inputs[pid] = (pid + i) % 2
+		}
+		rep, err := native.RunDiskRaceFaulty(inputs, plan, timeout)
+		if err != nil {
+			return 1, fmt.Errorf("plan %d (%v): %w", i, plan, err)
+		}
+		if rep.Watchdog {
+			watchdogs++
+			fmt.Fprintf(os.Stderr, "consensusrace: plan %d (%v) hit the %v watchdog\n", i, plan, timeout)
+			continue
+		}
+		if !rep.Agreement() {
+			return 2, fmt.Errorf("plan %d (%v): agreement violated: %v", i, plan, rep.Decided)
+		}
+		for pid, perr := range rep.Errors {
+			return 2, fmt.Errorf("plan %d (%v): p%d failed: %w", i, plan, pid, perr)
+		}
+		crashed += len(rep.Crashed)
+	}
+	fmt.Printf("diskrace n=%d faults=%s: %d plans, all surviving deciders agreed; %d crashes injected, %d watchdog aborts\n",
+		n, mode, len(plans), crashed, watchdogs)
+	if watchdogs > 0 {
+		return 3, nil
+	}
+	return 0, nil
 }
 
 func race(n, trial int, randomized bool) (int, int, error) {

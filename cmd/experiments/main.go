@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -56,7 +57,7 @@ func run(heavy bool) error {
 	}
 	for _, a := range attacks {
 		engine := adversary.New(valency.New(a.opts))
-		w, err := engine.Theorem1(a.machine, a.n)
+		w, err := engine.Theorem1(context.Background(), a.machine, a.n)
 		if err != nil {
 			return fmt.Errorf("E1 %s n=%d: %w", a.machine.Name(), a.n, err)
 		}
@@ -72,17 +73,21 @@ func run(heavy bool) error {
 	fmt.Println("|---|---|---|---|")
 	for _, n := range []int{2, 4, 8, 16, 32, 64} {
 		d := native.NewDiskRace(n)
+		errs := make([]error, n)
 		var wg sync.WaitGroup
 		for pid := 0; pid < n; pid++ {
 			wg.Add(1)
 			go func(pid int) {
 				defer wg.Done()
-				if _, err := d.Propose(pid, pid%2); err != nil {
-					panic(err)
-				}
+				_, errs[pid] = d.Propose(pid, pid%2)
 			}(pid)
 		}
 		wg.Wait()
+		for pid, err := range errs {
+			if err != nil {
+				return fmt.Errorf("E2 n=%d p%d: %w", n, pid, err)
+			}
+		}
 		s := d.Stats()
 		fmt.Printf("| %d | %d | %d | %d |\n", n, s.Touched, s.Reads, s.Writes)
 	}
@@ -100,7 +105,7 @@ func run(heavy bool) error {
 	for _, a := range props {
 		oracle := valency.New(a.opts)
 		engine := adversary.New(oracle)
-		if _, err := engine.InitialBivalent(a.machine, a.n); err != nil {
+		if _, err := engine.InitialBivalent(context.Background(), a.machine, a.n); err != nil {
 			return fmt.Errorf("E3: %w", err)
 		}
 		fmt.Printf("| %s | %d | {0} | {1} | yes | %d |\n", a.machine.Name(), a.n, oracle.Stats().Configs)
@@ -151,7 +156,7 @@ func run(heavy bool) error {
 	for _, inputs := range [][]model.Value{{"0", "1"}, {"1", "1"}, {"0", "0"}} {
 		oracle := valency.New(explore.Options{})
 		c := model.NewConfig(consensus.Flood{}, inputs)
-		rep, err := oracle.Profile("flood", c, []int{0, 1})
+		rep, err := oracle.Profile(context.Background(), "flood", c, []int{0, 1})
 		if err != nil {
 			return fmt.Errorf("E12: %w", err)
 		}
@@ -191,6 +196,7 @@ func run(heavy bool) error {
 	for _, n := range []int{2, 4, 8, 16} {
 		e := leader.NewElection(n)
 		leaders := 0
+		errs := make([]error, n)
 		var mu sync.Mutex
 		var wg sync.WaitGroup
 		for pid := 0; pid < n; pid++ {
@@ -199,7 +205,8 @@ func run(heavy bool) error {
 				defer wg.Done()
 				won, err := e.Run(pid)
 				if err != nil {
-					panic(err)
+					errs[pid] = err
+					return
 				}
 				if won {
 					mu.Lock()
@@ -209,6 +216,11 @@ func run(heavy bool) error {
 			}(pid)
 		}
 		wg.Wait()
+		for pid, err := range errs {
+			if err != nil {
+				return fmt.Errorf("E8 n=%d p%d: %w", n, pid, err)
+			}
+		}
 		fmt.Printf("| %d | %d | %t |\n", n, e.Registers(), leaders == 1)
 	}
 	fmt.Println()
@@ -223,20 +235,22 @@ func run(heavy bool) error {
 		for trial := 0; trial < trials; trial++ {
 			r := native.NewRandomized(n)
 			results := make([]native.Result, n)
+			errs := make([]error, n)
 			var wg sync.WaitGroup
 			for pid := 0; pid < n; pid++ {
 				wg.Add(1)
 				go func(pid int) {
 					defer wg.Done()
 					rng := rand.New(rand.NewSource(int64(trial*997 + pid)))
-					res, err := r.Propose(pid, pid%2, rng)
-					if err != nil {
-						panic(err)
-					}
-					results[pid] = res
+					results[pid], errs[pid] = r.Propose(pid, pid%2, rng)
 				}(pid)
 			}
 			wg.Wait()
+			for pid, err := range errs {
+				if err != nil {
+					return fmt.Errorf("E9 n=%d trial %d p%d: %w", n, trial, pid, err)
+				}
+			}
 			for _, res := range results {
 				totalFlips += res.Flips
 				if res.Round+1 > maxRounds {
@@ -268,7 +282,7 @@ func run(heavy bool) error {
 			if err != nil {
 				return err
 			}
-			report, err := check.Consensus(m, row.n, check.Options{Explore: opts, SkipSolo: row.n > 2})
+			report, err := check.Consensus(context.Background(), m, row.n, check.Options{Explore: opts, SkipSolo: row.n > 2})
 			if err != nil {
 				return err
 			}

@@ -1,52 +1,110 @@
 // Command modelcheck verifies a consensus protocol by bounded-exhaustive
 // state-space exploration: Agreement, Validity and solo termination over
-// every binary input vector (experiments E2/E3 support).
+// every binary input vector (experiments E2/E3 support), plus an optional
+// crash-tolerance phase driven by deterministic fault plans.
 //
 // Usage:
 //
 //	modelcheck [-protocol flood] [-n 2] [-max-configs 0] [-skip-solo]
+//	           [-timeout 0] [-seed 1] [-faults off|random|covering|exhaustive] [-crash-trials 200]
+//
+// Exit codes: 0 on a clean pass, 2 when the checker finds a violation,
+// 3 when a -timeout budget cut the exploration short (the report covers
+// only what was explored), 1 on any other failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "modelcheck:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	protocol := flag.String("protocol", core.ProtocolFlood, "protocol to verify (diskrace, flood, eagerflood, greedyflood)")
 	n := flag.Int("n", 2, "number of processes")
 	maxConfigs := flag.Int("max-configs", 0, "cap per exploration (0 = default)")
 	skipSolo := flag.Bool("skip-solo", false, "skip the solo-termination check")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole check (0 = none)")
+	seed := flag.Int64("seed", 1, "seed for fault-plan generation and injected schedules")
+	faultMode := flag.String("faults", "off", "crash-tolerance phase: off, random, covering, exhaustive")
+	crashTrials := flag.Int("crash-trials", check.DefaultCrashTrials, "trials for -faults random")
 	flag.Parse()
 
+	switch *faultMode {
+	case "off", "random", "covering", "exhaustive":
+	default:
+		return 1, fmt.Errorf("unknown -faults mode %q (want off, random, covering or exhaustive)", *faultMode)
+	}
 	m, opts, err := core.Machine(*protocol)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	if *maxConfigs > 0 {
 		opts.MaxConfigs = *maxConfigs
 	}
-	report, err := check.Consensus(m, *n, check.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	report, err := check.Consensus(ctx, m, *n, check.Options{
 		Explore:  opts,
 		SkipSolo: *skipSolo,
 	})
 	if err != nil {
-		return err
+		return 1, err
 	}
 	fmt.Println(report)
 	if !report.OK() {
-		os.Exit(2)
+		return 2, nil
 	}
-	return nil
+	if report.Capped && ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "modelcheck: timeout cut the exploration short; the verdict covers only the explored prefix")
+		return 3, nil
+	}
+
+	if *faultMode != "off" {
+		crashOpts := check.CrashOptions{Seed: *seed}
+		switch *faultMode {
+		case "random":
+			crashOpts.Trials = *crashTrials
+		case "covering":
+			// One covering-targeted plan per binary input vector: crash each
+			// victim the first time it is poised on a write.
+			for i, inputs := range check.BinaryInputs(*n) {
+				plan, err := faults.CoveringTargeted(m, inputs, *seed+int64(i), *n-1, 0)
+				if err != nil {
+					return 1, fmt.Errorf("covering plan for inputs %v: %w", inputs, err)
+				}
+				crashOpts.Plans = append(crashOpts.Plans, plan)
+			}
+		case "exhaustive":
+			crashOpts.Plans = faults.ExhaustiveSmall(*n, 12*(*n))
+		}
+		crashReport, err := check.CrashTolerance(m, *n, crashOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modelcheck: crash tolerance violated:", err)
+			return 2, nil
+		}
+		fmt.Println(crashReport)
+	}
+	return 0, nil
 }

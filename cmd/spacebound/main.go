@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	spacebound [-protocol diskrace] [-n 3] [-max-configs 0] [-figures] [-transcript]
+//	spacebound [-protocol diskrace] [-n 3] [-max-configs 0] [-timeout 0] [-figures] [-transcript]
+//
+// Exit codes: 0 on a complete witness, 3 when a -timeout or -max-configs
+// budget interrupted the construction (the partial progress is printed to
+// stderr), 1 on any other failure.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +28,12 @@ import (
 
 func main() {
 	if err := run(); err != nil {
+		var partial *adversary.Partial
+		if errors.As(err, &partial) {
+			fmt.Fprintln(os.Stderr, "spacebound: search interrupted; progress so far:")
+			fmt.Fprintln(os.Stderr, partial.String())
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "spacebound:", err)
 		os.Exit(1)
 	}
@@ -31,6 +43,7 @@ func run() error {
 	protocol := flag.String("protocol", core.ProtocolDiskRace, "protocol to attack (diskrace, flood)")
 	n := flag.Int("n", 3, "number of processes")
 	maxConfigs := flag.Int("max-configs", 0, "cap per valency query (0 = default)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole construction (0 = none)")
 	figures := flag.Bool("figures", false, "emit the witness as Graphviz DOT (paper Figure 4 style)")
 	transcript := flag.Bool("transcript", false, "print the full step-by-step execution")
 	flag.Parse()
@@ -42,8 +55,14 @@ func run() error {
 	if *maxConfigs > 0 {
 		opts.MaxConfigs = *maxConfigs
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	engine := adversary.New(valency.New(opts))
-	w, err := engine.Theorem1(m, *n)
+	w, err := engine.Theorem1(ctx, m, *n)
 	if err != nil {
 		return err
 	}

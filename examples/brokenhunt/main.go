@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 		{core.ProtocolEagerFlood, 3, "single-scan deciding accepts unanimity assembled across epochs"},
 		{core.ProtocolCoinFlood, 2, "adversarially resolved coins steer a laggard over a decision"},
 	} {
-		report, err := core.Verify(tc.protocol, tc.n, 0)
+		report, err := core.Verify(context.Background(), tc.protocol, tc.n, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,7 +39,7 @@ func main() {
 	}
 
 	// Replay the greedyflood counterexample step by step.
-	report, err := core.Verify(core.ProtocolGreedyFlood, 2, 0)
+	report, err := core.Verify(context.Background(), core.ProtocolGreedyFlood, 2, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func main() {
 	fmt.Print(trace.Transcript(model.NewConfig(m, v.Inputs), v.Path))
 
 	// And the healthy protocol passes the same gauntlet.
-	ok, err := core.Verify(core.ProtocolFlood, 2, 0)
+	ok, err := core.Verify(context.Background(), core.ProtocolFlood, 2, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

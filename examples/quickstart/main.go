@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 
 	// 2. Exhaustively verify a protocol for two processes: every input
 	// vector, every interleaving.
-	report, err := core.Verify(core.ProtocolFlood, 2, 0)
+	report, err := core.Verify(context.Background(), core.ProtocolFlood, 2, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func main() {
 	// 3. Reproduce the paper's Theorem 1: the adversary drives the
 	// protocol into a configuration where n-1 = 2 distinct registers are
 	// covered, witnessing the space lower bound.
-	witness, err := core.Attack(core.ProtocolDiskRace, 3, 0)
+	witness, err := core.Attack(context.Background(), core.ProtocolDiskRace, 3, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

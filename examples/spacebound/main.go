@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,14 +24,14 @@ func main() {
 	engine := adversary.New(oracle)
 	const n = 3
 
-	initial, err := engine.InitialBivalent(machine, n)
+	initial, err := engine.InitialBivalent(context.Background(), machine, n)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Proposition 2: initial configuration with inputs (0,1,1) is bivalent for {p0,p1}")
 
 	all := []int{0, 1, 2}
-	l4, err := engine.Lemma4(initial, all)
+	l4, err := engine.Lemma4(context.Background(), initial, all)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func main() {
 		len(l4.Alpha), l4.Q, len(l4.Covered), l4.Covered)
 
 	r := model.Without(all, l4.Q...)
-	phi, q, err := engine.Lemma3(l4.Config, all, r)
+	phi, q, err := engine.Lemma3(context.Background(), l4.Config, all, r)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,14 +53,14 @@ func main() {
 		}
 	}
 	afterPhi := model.RunPath(l4.Config, phi)
-	zeta, outside, err := engine.Lemma2(afterPhi, r, z)
+	zeta, outside, err := engine.Lemma2(context.Background(), afterPhi, r, z)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Lemma 2: p%d's solo deciding run is forced to write register %d, outside the cover\n",
 		z, outside)
 
-	w, err := engine.Theorem1(machine, n)
+	w, err := engine.Theorem1(context.Background(), machine, n)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,6 +24,7 @@
 package adversary
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -36,6 +37,9 @@ import (
 // Engine runs the constructions for one protocol instance.
 type Engine struct {
 	oracle *valency.Oracle
+	// prog records completed proof stages so an interrupted run can
+	// report its progress (see Partial). Entry points reset it.
+	prog progress
 	// maxRounds caps the D_i sequence in Lemma 4; the pigeonhole argument
 	// bounds it by the number of register subsets, and the cap turns a
 	// violated invariant into an error instead of a hang.
@@ -57,7 +61,7 @@ func (e *Engine) Oracle() *valency.Oracle { return e.oracle }
 // configuration in which process 0 has input 0, process 1 has input 1 and
 // every other process has input 1, and verifies that {p0} is 0-univalent,
 // {p1} is 1-univalent, and hence {p0,p1} is bivalent.
-func (e *Engine) InitialBivalent(m model.Machine, n int) (model.Config, error) {
+func (e *Engine) InitialBivalent(ctx context.Context, m model.Machine, n int) (model.Config, error) {
 	if n < 2 {
 		return model.Config{}, fmt.Errorf("adversary: need n >= 2 processes, got %d", n)
 	}
@@ -67,8 +71,8 @@ func (e *Engine) InitialBivalent(m model.Machine, n int) (model.Config, error) {
 	}
 	inputs[0] = valency.V0
 	c := model.NewConfig(m, inputs)
-	for pid, want := range map[int]model.Value{0: valency.V0, 1: valency.V1} {
-		v, err := e.oracle.Decidable(c, []int{pid})
+	for pid, want := range []model.Value{valency.V0, valency.V1} {
+		v, err := e.oracle.Decidable(ctx, c, []int{pid})
 		if err != nil {
 			return model.Config{}, fmt.Errorf("proposition 2: %w", err)
 		}
@@ -77,21 +81,23 @@ func (e *Engine) InitialBivalent(m model.Machine, n int) (model.Config, error) {
 				"proposition 2 violated: {p%d} should be %s-univalent, decidable set %v",
 				pid, string(want), v.Decidable)
 		}
+		e.prog.note("proposition 2: {p%d} is %s-univalent", pid, string(want))
 	}
-	biv, err := e.oracle.Bivalent(c, []int{0, 1})
+	biv, err := e.oracle.Bivalent(ctx, c, []int{0, 1})
 	if err != nil {
 		return model.Config{}, fmt.Errorf("proposition 2: %w", err)
 	}
 	if !biv {
 		return model.Config{}, fmt.Errorf("proposition 2 violated: {p0,p1} not bivalent")
 	}
+	e.prog.note("proposition 2: initial configuration bivalent for {p0,p1}")
 	return c, nil
 }
 
 // Lemma1 implements Lemma 1: given a configuration c and a process set p
 // (|p| >= 3) bivalent from c, it returns a p-only execution φ and a process
 // z ∈ p such that p - {z} is bivalent from cφ.
-func (e *Engine) Lemma1(c model.Config, p []int) (model.Path, int, error) {
+func (e *Engine) Lemma1(ctx context.Context, c model.Config, p []int) (model.Path, int, error) {
 	if len(p) < 3 {
 		return nil, 0, fmt.Errorf("lemma 1: need |P| >= 3, got %d", len(p))
 	}
@@ -100,7 +106,7 @@ func (e *Engine) Lemma1(c model.Config, p []int) (model.Path, int, error) {
 	q2 := model.Without(p, z2)
 	inter := model.Without(p, z1, z2)
 
-	vInter, err := e.oracle.Decidable(c, inter)
+	vInter, err := e.oracle.Decidable(ctx, c, inter)
 	if err != nil {
 		return nil, 0, fmt.Errorf("lemma 1: %w", err)
 	}
@@ -116,11 +122,12 @@ func (e *Engine) Lemma1(c model.Config, p []int) (model.Path, int, error) {
 		q []int
 		z int
 	}{{q1, z1}, {q2, z2}} {
-		can, err := e.oracle.CanDecide(c, cand.q, vbar)
+		can, err := e.oracle.CanDecide(ctx, c, cand.q, vbar)
 		if err != nil {
 			return nil, 0, fmt.Errorf("lemma 1: %w", err)
 		}
 		if can {
+			e.prog.note("lemma 1 (|P|=%d): peeled p%d with empty \u03c6", len(p), cand.z)
 			return model.Path{}, cand.z, nil
 		}
 	}
@@ -128,7 +135,7 @@ func (e *Engine) Lemma1(c model.Config, p []int) (model.Path, int, error) {
 	// Both Q1 and Q2 are v-univalent from c; P is bivalent, so take a
 	// P-only execution ψ deciding v̄ and find the last prefix from which
 	// both are still v-univalent.
-	vp, err := e.oracle.Decidable(c, p)
+	vp, err := e.oracle.Decidable(ctx, c, p)
 	if err != nil {
 		return nil, 0, fmt.Errorf("lemma 1: %w", err)
 	}
@@ -140,11 +147,11 @@ func (e *Engine) Lemma1(c model.Config, p []int) (model.Path, int, error) {
 	d := c
 	for i, mv := range psi {
 		next := applyMove(d, mv)
-		u1, err := univalentAt(e.oracle, next, q1, v)
+		u1, err := univalentAt(ctx, e.oracle, next, q1, v)
 		if err != nil {
 			return nil, 0, fmt.Errorf("lemma 1 prefix %d: %w", i, err)
 		}
-		u2, err := univalentAt(e.oracle, next, q2, v)
+		u2, err := univalentAt(ctx, e.oracle, next, q2, v)
 		if err != nil {
 			return nil, 0, fmt.Errorf("lemma 1 prefix %d: %w", i, err)
 		}
@@ -163,13 +170,14 @@ func (e *Engine) Lemma1(c model.Config, p []int) (model.Path, int, error) {
 			z = z1
 		}
 		rest := model.Without(p, z)
-		biv, err := e.oracle.Bivalent(model.RunPath(c, phi), rest)
+		biv, err := e.oracle.Bivalent(ctx, model.RunPath(c, phi), rest)
 		if err != nil {
 			return nil, 0, fmt.Errorf("lemma 1 verify: %w", err)
 		}
 		if !biv {
 			return nil, 0, fmt.Errorf("lemma 1 violated: P-{p%d} not bivalent after critical step %d", z, i)
 		}
+		e.prog.note("lemma 1 (|P|=%d): peeled p%d after critical step %d", len(p), z, i)
 		return phi, z, nil
 	}
 	return nil, 0, fmt.Errorf("lemma 1: no critical step found along ψ (oracle inconsistency)")
@@ -183,12 +191,12 @@ func (e *Engine) Lemma1(c model.Config, p []int) (model.Path, int, error) {
 // guarantees such a write exists whenever some P ⊇ r with z ∉ P is bivalent
 // from cβ; callers are responsible for that hypothesis, and Lemma2 errors if
 // the write never materialises.
-func (e *Engine) Lemma2(c model.Config, r []int, z int) (model.Path, int, error) {
+func (e *Engine) Lemma2(ctx context.Context, c model.Config, r []int, z int) (model.Path, int, error) {
 	covered, ok := c.CoverSet(r)
 	if !ok {
 		return nil, 0, fmt.Errorf("lemma 2: not every process in %v covers a register", r)
 	}
-	zeta, _, err := e.oracle.SoloDeciding(c, z)
+	zeta, _, err := e.oracle.SoloDeciding(ctx, c, z)
 	if err != nil {
 		return nil, 0, fmt.Errorf("lemma 2: %w", err)
 	}
@@ -196,6 +204,7 @@ func (e *Engine) Lemma2(c model.Config, r []int, z int) (model.Path, int, error)
 	for i, mv := range zeta {
 		op := d.State(z).Pending()
 		if op.Kind == model.OpWrite && !covered[op.Reg] {
+			e.prog.note("lemma 2: p%d forced outside cover %v, poised on register %d", z, model.PidList(covered), op.Reg)
 			return append(model.Path{}, zeta[:i]...), op.Reg, nil
 		}
 		d = applyMove(d, mv)
@@ -208,7 +217,7 @@ func (e *Engine) Lemma2(c model.Config, r []int, z int) (model.Path, int, error)
 // non-empty set of covering processes in c with q = p - r bivalent from c.
 // It returns a (p-r)-only execution φ and a process q ∈ p-r such that
 // r ∪ {q} is bivalent from cφβ, where β is the block write by r.
-func (e *Engine) Lemma3(c model.Config, p, r []int) (model.Path, int, error) {
+func (e *Engine) Lemma3(ctx context.Context, c model.Config, p, r []int) (model.Path, int, error) {
 	if len(r) == 0 {
 		return nil, 0, fmt.Errorf("lemma 3: covering set must be non-empty")
 	}
@@ -222,7 +231,7 @@ func (e *Engine) Lemma3(c model.Config, p, r []int) (model.Path, int, error) {
 	beta := model.MovesOf(model.BlockWrite(r))
 
 	// v: some value R can decide from cβ (Proposition 1(i)).
-	vr, err := e.oracle.Decidable(model.RunPath(c, beta), r)
+	vr, err := e.oracle.Decidable(ctx, model.RunPath(c, beta), r)
 	if err != nil {
 		return nil, 0, fmt.Errorf("lemma 3: %w", err)
 	}
@@ -233,7 +242,7 @@ func (e *Engine) Lemma3(c model.Config, p, r []int) (model.Path, int, error) {
 	vbar := valency.Opposite(v)
 
 	// ψ: a Q-only execution from c deciding v̄.
-	vq, err := e.oracle.Decidable(c, q)
+	vq, err := e.oracle.Decidable(ctx, c, q)
 	if err != nil {
 		return nil, 0, fmt.Errorf("lemma 3: %w", err)
 	}
@@ -252,7 +261,7 @@ func (e *Engine) Lemma3(c model.Config, p, r []int) (model.Path, int, error) {
 		configs = append(configs, d)
 	}
 	for i := len(psi) - 1; i >= 0; i-- {
-		can, err := e.oracle.CanDecide(model.RunPath(configs[i], beta), r, v)
+		can, err := e.oracle.CanDecide(ctx, model.RunPath(configs[i], beta), r, v)
 		if err != nil {
 			return nil, 0, fmt.Errorf("lemma 3 prefix %d: %w", i, err)
 		}
@@ -264,13 +273,14 @@ func (e *Engine) Lemma3(c model.Config, p, r []int) (model.Path, int, error) {
 		// Verify the lemma's conclusion: R ∪ {crit} bivalent from cφβ.
 		group := append(append([]int{}, r...), crit)
 		sort.Ints(group)
-		biv, err := e.oracle.Bivalent(model.RunPath(configs[i], beta), group)
+		biv, err := e.oracle.Bivalent(ctx, model.RunPath(configs[i], beta), group)
 		if err != nil {
 			return nil, 0, fmt.Errorf("lemma 3 verify: %w", err)
 		}
 		if !biv {
 			return nil, 0, fmt.Errorf("lemma 3 violated: R∪{p%d} not bivalent from cφβ", crit)
 		}
+		e.prog.note("lemma 3: R=%v block-write survives; R∪{p%d} bivalent", r, crit)
 		return phi, crit, nil
 	}
 	return nil, 0, fmt.Errorf("lemma 3: no prefix of ψ leaves R able to decide %s after β", string(v))
@@ -281,8 +291,8 @@ func applyMove(c model.Config, m model.Move) model.Config {
 }
 
 // univalentAt reports whether set is v-univalent from c.
-func univalentAt(o *valency.Oracle, c model.Config, set []int, v model.Value) (bool, error) {
-	verdict, err := o.Decidable(c, set)
+func univalentAt(ctx context.Context, o *valency.Oracle, c model.Config, set []int, v model.Value) (bool, error) {
+	verdict, err := o.Decidable(ctx, c, set)
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/consensus"
@@ -28,7 +29,7 @@ func allPids(n int) []int {
 // TestInitialBivalentFlood verifies Proposition 2 on the n=2 Flood protocol.
 func TestInitialBivalentFlood(t *testing.T) {
 	e := newEngine(explore.Options{})
-	c, err := e.InitialBivalent(consensus.Flood{}, 2)
+	c, err := e.InitialBivalent(context.Background(), consensus.Flood{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestInitialBivalentFlood(t *testing.T) {
 func TestInitialBivalentDiskRace(t *testing.T) {
 	for _, n := range []int{2, 3, 4} {
 		e := diskEngine()
-		if _, err := e.InitialBivalent(consensus.DiskRace{}, n); err != nil {
+		if _, err := e.InitialBivalent(context.Background(), consensus.DiskRace{}, n); err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
 	}
@@ -52,7 +53,7 @@ func TestInitialBivalentDiskRace(t *testing.T) {
 // finite-state protocol.
 func TestTheorem1FloodN2(t *testing.T) {
 	e := newEngine(explore.Options{})
-	w, err := e.Theorem1(consensus.Flood{}, 2)
+	w, err := e.Theorem1(context.Background(), consensus.Flood{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestTheorem1DiskRace(t *testing.T) {
 	sizes := []int{2, 3}
 	for _, n := range sizes {
 		e := diskEngine()
-		w, err := e.Theorem1(consensus.DiskRace{}, n)
+		w, err := e.Theorem1(context.Background(), consensus.DiskRace{}, n)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -85,11 +86,11 @@ func TestTheorem1DiskRace(t *testing.T) {
 // inside Lemma1; here we check the interface contract).
 func TestLemma1DiskRace(t *testing.T) {
 	e := diskEngine()
-	c, err := e.InitialBivalent(consensus.DiskRace{}, 3)
+	c, err := e.InitialBivalent(context.Background(), consensus.DiskRace{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	phi, z, err := e.Lemma1(c, allPids(3))
+	phi, z, err := e.Lemma1(context.Background(), c, allPids(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,13 +109,13 @@ func TestLemma1DiskRace(t *testing.T) {
 // protocol, but the cover-set precondition must be enforced.
 func TestLemma2RequiresCover(t *testing.T) {
 	e := newEngine(explore.Options{})
-	c, err := e.InitialBivalent(consensus.Flood{}, 2)
+	c, err := e.InitialBivalent(context.Background(), consensus.Flood{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// p1 is poised to read in the initial configuration, so {p1} is not a
 	// covering set.
-	if _, _, err := e.Lemma2(c, []int{1}, 0); err == nil {
+	if _, _, err := e.Lemma2(context.Background(), c, []int{1}, 0); err == nil {
 		t.Fatal("expected an error for a non-covering set")
 	}
 }
@@ -125,7 +126,7 @@ func TestLemma2RequiresCover(t *testing.T) {
 // are vacuous without Agreement), but they must not hang or panic.
 func TestTheorem1CatchesBrokenProtocol(t *testing.T) {
 	e := newEngine(explore.Options{})
-	w, err := e.Theorem1(consensus.EagerFlood{}, 3)
+	w, err := e.Theorem1(context.Background(), consensus.EagerFlood{}, 3)
 	if err != nil {
 		t.Logf("adversary rejected eagerflood: %v", err)
 		return
@@ -136,26 +137,26 @@ func TestTheorem1CatchesBrokenProtocol(t *testing.T) {
 // TestEngineErrorPaths covers the guard rails of every construction.
 func TestEngineErrorPaths(t *testing.T) {
 	e := diskEngine()
-	c, err := e.InitialBivalent(consensus.DiskRace{}, 3)
+	c, err := e.InitialBivalent(context.Background(), consensus.DiskRace{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.InitialBivalent(consensus.DiskRace{}, 1); err == nil {
+	if _, err := e.InitialBivalent(context.Background(), consensus.DiskRace{}, 1); err == nil {
 		t.Fatal("InitialBivalent accepted n=1")
 	}
-	if _, _, err := e.Lemma1(c, []int{0, 1}); err == nil {
+	if _, _, err := e.Lemma1(context.Background(), c, []int{0, 1}); err == nil {
 		t.Fatal("Lemma1 accepted |P|=2")
 	}
-	if _, _, err := e.Lemma3(c, allPids(3), nil); err == nil {
+	if _, _, err := e.Lemma3(context.Background(), c, allPids(3), nil); err == nil {
 		t.Fatal("Lemma3 accepted empty covering set")
 	}
 	// After its phase-1 write, a DiskRace process is poised to read, so
 	// {p0} is no longer a covering set.
 	stepped := c.StepDet(0)
-	if _, _, err := e.Lemma3(stepped, allPids(3), []int{0}); err == nil {
+	if _, _, err := e.Lemma3(context.Background(), stepped, allPids(3), []int{0}); err == nil {
 		t.Fatal("Lemma3 accepted a non-covering (reading) process")
 	}
-	if _, err := e.Lemma4(c, []int{0}); err == nil {
+	if _, err := e.Lemma4(context.Background(), c, []int{0}); err == nil {
 		t.Fatal("Lemma4 accepted |P|=1")
 	}
 }
@@ -164,13 +165,13 @@ func TestEngineErrorPaths(t *testing.T) {
 // and exercises Lemma 3 standalone.
 func TestLemma3OnRealCover(t *testing.T) {
 	e := diskEngine()
-	initial, err := e.InitialBivalent(consensus.DiskRace{}, 3)
+	initial, err := e.InitialBivalent(context.Background(), consensus.DiskRace{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Initially every DiskRace process is poised on its phase-1 write, so
 	// {p2} is a covering set and {p0,p1} must be bivalent.
-	phi, q, err := e.Lemma3(initial, allPids(3), []int{2})
+	phi, q, err := e.Lemma3(context.Background(), initial, allPids(3), []int{2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestLemma4NotBivalent(t *testing.T) {
 	e := diskEngine()
 	inputs := []model.Value{"1", "1", "1"}
 	c := model.NewConfig(consensus.DiskRace{}, inputs)
-	if _, err := e.Lemma4(c, allPids(3)); err == nil {
+	if _, err := e.Lemma4(context.Background(), c, allPids(3)); err == nil {
 		t.Fatal("Lemma4 accepted a univalent configuration (all inputs equal)")
 	}
 }

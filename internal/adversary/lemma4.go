@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,21 +40,21 @@ type Lemma4Result struct {
 // poised to write outside V (Lemma 2 guarantees this), its covered writes
 // are hidden under the block write β_i, and the suffix ψ_i α_{i+1} ... α_{j-1}
 // replays unchanged because p-{z} cannot distinguish the configurations.
-func (e *Engine) Lemma4(c model.Config, p []int) (*Lemma4Result, error) {
+func (e *Engine) Lemma4(ctx context.Context, c model.Config, p []int) (*Lemma4Result, error) {
 	if len(p) < 2 {
 		return nil, fmt.Errorf("lemma 4: need |P| >= 2, got %d", len(p))
 	}
-	if biv, err := e.oracle.Bivalent(c, p); err != nil {
+	if biv, err := e.oracle.Bivalent(ctx, c, p); err != nil {
 		return nil, fmt.Errorf("lemma 4: %w", err)
 	} else if !biv {
 		return nil, fmt.Errorf("lemma 4: P=%v not bivalent from c", p)
 	}
-	return e.lemma4(c, p)
+	return e.lemma4(ctx, c, p)
 }
 
 // lemma4 is the recursive worker; the precondition (p bivalent from c) is
 // the caller's responsibility.
-func (e *Engine) lemma4(c model.Config, p []int) (*Lemma4Result, error) {
+func (e *Engine) lemma4(ctx context.Context, c model.Config, p []int) (*Lemma4Result, error) {
 	if len(p) == 2 {
 		// Base case: α empty, Q = p, nothing covered.
 		return &Lemma4Result{
@@ -65,7 +66,7 @@ func (e *Engine) lemma4(c model.Config, p []int) (*Lemma4Result, error) {
 	}
 
 	// Lemma 1: peel off z so that p-{z} is bivalent from d = cγ.
-	gamma, z, err := e.Lemma1(c, p)
+	gamma, z, err := e.Lemma1(ctx, c, p)
 	if err != nil {
 		return nil, fmt.Errorf("lemma 4 (|P|=%d): %w", len(p), err)
 	}
@@ -74,7 +75,7 @@ func (e *Engine) lemma4(c model.Config, p []int) (*Lemma4Result, error) {
 
 	// Build the covering sequence (D_i).
 	// D_0 comes from the induction hypothesis applied at d.
-	ih, err := e.lemma4(d, rest)
+	ih, err := e.lemma4(ctx, d, rest)
 	if err != nil {
 		return nil, err
 	}
@@ -90,6 +91,7 @@ func (e *Engine) lemma4(c model.Config, p []int) (*Lemma4Result, error) {
 			return nil, fmt.Errorf("lemma 4: no repeated cover set within %d rounds (pigeonhole violated?)", e.maxRounds)
 		}
 		totalRounds++
+		e.prog.rounds++
 		sig, cover, err := coverSignature(cur.config, cur.r)
 		if err != nil {
 			return nil, fmt.Errorf("lemma 4 round %d: %w", i, err)
@@ -99,16 +101,19 @@ func (e *Engine) lemma4(c model.Config, p []int) (*Lemma4Result, error) {
 			return nil, fmt.Errorf("lemma 4 round %d: R_i covers %d registers for %d processes (not distinct)",
 				i, len(cover), len(cur.r))
 		}
+		e.prog.forcedAtLeast(len(cover))
 
 		if j, ok := seen[sig]; ok {
 			// Pigeonhole: rounds[j] and cur cover the same set V.
 			// (The proof's i is our rounds[j], its j our cur.)
-			res, err := e.spliceZ(rounds, j, cur, z, rest)
+			res, err := e.spliceZ(ctx, rounds, j, cur, z, rest)
 			if err != nil {
 				return nil, err
 			}
 			res.Alpha = model.ConcatPaths(gamma, eta, res.Alpha)
 			res.Rounds = totalRounds
+			e.prog.note("lemma 4 (|P|=%d): covering construction complete, %d distinct registers covered", len(p), len(res.Covered))
+			e.prog.forcedAtLeast(len(res.Covered))
 			return res, nil
 		}
 		seen[sig] = i
@@ -123,7 +128,7 @@ func (e *Engine) lemma4(c model.Config, p []int) (*Lemma4Result, error) {
 			cur = coveringRound{config: cur.config, q: cur.q, r: cur.r}
 			continue
 		}
-		phi, _, err := e.Lemma3(cur.config, rest, cur.r)
+		phi, _, err := e.Lemma3(ctx, cur.config, rest, cur.r)
 		if err != nil {
 			return nil, fmt.Errorf("lemma 4 round %d: %w", i, err)
 		}
@@ -131,7 +136,7 @@ func (e *Engine) lemma4(c model.Config, p []int) (*Lemma4Result, error) {
 		afterBlock := model.RunPath(cur.config, model.ConcatPaths(phi, beta))
 		// R_i ∪ {q} is bivalent from D_i φ_i β_i, hence (Prop 1(ii))
 		// rest is bivalent there; apply the induction hypothesis.
-		next, err := e.lemma4(afterBlock, rest)
+		next, err := e.lemma4(ctx, afterBlock, rest)
 		if err != nil {
 			return nil, err
 		}
@@ -163,14 +168,14 @@ type coveringRound struct {
 // ζ' writes only inside V, so the block write β_i hides it from rest), then
 // replay ψ_i α_{i+1} ... α_{j-1} to reach a configuration indistinguishable
 // from D_j to rest — in which z additionally covers a register outside V.
-func (e *Engine) spliceZ(rounds []coveringRound, i int, cur coveringRound, z int, rest []int) (*Lemma4Result, error) {
+func (e *Engine) spliceZ(ctx context.Context, rounds []coveringRound, i int, cur coveringRound, z int, rest []int) (*Lemma4Result, error) {
 	ri := rounds[i]
 	afterPhi := model.RunPath(ri.config, ri.phi)
 
 	// ζ': z's solo execution from D_i φ_i truncated before its first
 	// write outside the cover of R_i in D_i (Lemma 2 guarantees such a
 	// write exists because R_i ∪ {q_i} ⊆ rest is bivalent from D_i φ_i β_i).
-	zetaPrime, outside, err := e.Lemma2(afterPhi, ri.r, z)
+	zetaPrime, outside, err := e.Lemma2(ctx, afterPhi, ri.r, z)
 	if err != nil {
 		return nil, fmt.Errorf("lemma 4 splice: %w", err)
 	}
@@ -215,7 +220,7 @@ func (e *Engine) spliceZ(rounds []coveringRound, i int, cur coveringRound, z int
 
 	q := append([]int{}, cur.q...)
 	sort.Ints(q)
-	biv, err := e.oracle.Bivalent(final, q)
+	biv, err := e.oracle.Bivalent(ctx, final, q)
 	if err != nil {
 		return nil, fmt.Errorf("lemma 4 splice verify: %w", err)
 	}

@@ -1,0 +1,106 @@
+package adversary
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/explore"
+	"repro/internal/valency"
+)
+
+// Partial is returned (as the error) when a resource bound — a context
+// deadline, a cancellation, or an exploration cap — stops a construction
+// before it finishes. It reports what the run proved before the bound hit:
+// the lemma stages that completed, the largest set of distinct registers the
+// adversary had forced, and the covering rounds performed. Callers detect it
+// with errors.As and can report progress instead of a bare failure; the
+// underlying cause (context.DeadlineExceeded, context.Canceled or
+// explore.ErrCapped) remains reachable through errors.Is.
+type Partial struct {
+	// Protocol and N identify the interrupted run.
+	Protocol string
+	N        int
+	// Stages lists the proof stages that fully completed, in order.
+	Stages []string
+	// RegistersForced is the largest number of distinct registers
+	// simultaneously covered in any configuration the construction
+	// established before stopping.
+	RegistersForced int
+	// Rounds counts Lemma 4 covering-sequence iterations completed.
+	Rounds int
+	// OracleStats records the exhaustive-search work performed.
+	OracleStats valency.Stats
+	// Cause is the bounding error that stopped the run.
+	Cause error
+}
+
+// Error implements error.
+func (p *Partial) Error() string {
+	return fmt.Sprintf(
+		"adversary: %s n=%d interrupted after %d stage(s) (%d registers forced, %d covering rounds): %v",
+		p.Protocol, p.N, len(p.Stages), p.RegistersForced, p.Rounds, p.Cause)
+}
+
+// Unwrap exposes the bounding cause to errors.Is.
+func (p *Partial) Unwrap() error { return p.Cause }
+
+// String renders the full progress report, one stage per line.
+func (p *Partial) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\ncompleted stages:\n", p.Error())
+	if len(p.Stages) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, s := range p.Stages {
+		fmt.Fprintf(&b, "  - %s\n", s)
+	}
+	return b.String()
+}
+
+// bounded reports whether err is a resource bound (deadline, cancellation or
+// exploration cap) rather than a genuine property violation.
+func bounded(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, explore.ErrCapped)
+}
+
+// progress is the engine's stage recorder. Engine entry points reset it;
+// every completed proof stage appends a note, so an interrupted run can say
+// exactly how far it got.
+type progress struct {
+	stages []string
+	forced int
+	rounds int
+}
+
+// note records a completed stage.
+func (pr *progress) note(format string, args ...any) {
+	pr.stages = append(pr.stages, fmt.Sprintf(format, args...))
+}
+
+// forcedAtLeast raises the forced-registers high-water mark.
+func (pr *progress) forcedAtLeast(n int) {
+	if n > pr.forced {
+		pr.forced = n
+	}
+}
+
+// partial wraps err in a Partial carrying the engine's recorded progress
+// when err is a resource bound; property violations pass through unchanged.
+func (e *Engine) partial(protocol string, n int, err error) error {
+	if err == nil || !bounded(err) {
+		return err
+	}
+	return &Partial{
+		Protocol:        protocol,
+		N:               n,
+		Stages:          append([]string(nil), e.prog.stages...),
+		RegistersForced: e.prog.forced,
+		Rounds:          e.prog.rounds,
+		OracleStats:     e.oracle.Stats(),
+		Cause:           err,
+	}
+}

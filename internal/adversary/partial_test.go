@@ -1,0 +1,73 @@
+package adversary
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/explore"
+)
+
+// TestTheorem1DeadlinePartial runs the n=4 DiskRace adversary — whose full
+// construction needs hours of CPU (see TestTheorem1DiskRaceN4) — under a
+// deadline of a couple of seconds. The run must degrade gracefully: no
+// panic, no bare error, but a *Partial naming the lemma stages that
+// completed (Proposition 2's cheap solo-univalence queries finish well
+// inside the deadline) and the registers forced so far.
+func TestTheorem1DeadlinePartial(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	e := diskEngine()
+	w, err := e.Theorem1(ctx, consensus.DiskRace{}, 4)
+	if w != nil {
+		t.Fatalf("n=4 run finished within the deadline?! %v", w)
+	}
+	if err == nil {
+		t.Fatal("expected a Partial error from the deadline-cancelled run")
+	}
+	var p *Partial
+	if !errors.As(err, &p) {
+		t.Fatalf("error is not a *Partial: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Partial should unwrap to context.DeadlineExceeded, got %v", err)
+	}
+	if p.Protocol != "diskrace" || p.N != 4 {
+		t.Fatalf("Partial misidentifies the run: %+v", p)
+	}
+	if len(p.Stages) == 0 {
+		t.Fatalf("Partial names no completed stages: %v", p)
+	}
+	if !strings.Contains(p.Stages[0], "proposition 2") {
+		t.Fatalf("first completed stage should be a Proposition 2 univalence check, got %q", p.Stages[0])
+	}
+	if p.RegistersForced < 0 || p.RegistersForced >= 3 {
+		t.Fatalf("registers forced so far should be in [0,3) for an interrupted n=4 run, got %d", p.RegistersForced)
+	}
+	if p.OracleStats.Queries == 0 {
+		t.Fatalf("Partial should carry the oracle's work counters: %+v", p.OracleStats)
+	}
+	t.Logf("partial result:\n%s", p.String())
+}
+
+// TestTheorem1CapPartial drives the same degradation path through the
+// states-visited budget instead of the wall clock: a tiny MaxConfigs makes
+// the n=3 Flood construction hit explore.ErrCapped, which must surface as a
+// *Partial too.
+func TestTheorem1CapPartial(t *testing.T) {
+	e := newEngine(explore.Options{MaxConfigs: 64})
+	_, err := e.Theorem1(context.Background(), consensus.Flood{}, 3)
+	if err == nil {
+		t.Fatal("expected the 64-config budget to interrupt the run")
+	}
+	var p *Partial
+	if !errors.As(err, &p) {
+		t.Fatalf("capped run should return *Partial, got %v", err)
+	}
+	if !errors.Is(err, explore.ErrCapped) {
+		t.Fatalf("Partial should unwrap to explore.ErrCapped, got %v", err)
+	}
+}

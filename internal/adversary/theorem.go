@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -74,10 +75,13 @@ func (w *Theorem1Witness) String() string {
 // from C0φβ. For z ∈ Q - {q}, Lemma 2 forces z's solo deciding execution
 // from C0φ to write outside R's cover — so the protocol touches at least
 // |R| + 1 = n-1 distinct registers.
-func (e *Engine) Theorem1(m model.Machine, n int) (*Theorem1Witness, error) {
-	initial, err := e.InitialBivalent(m, n)
+// A cancelled or capped run returns a *Partial error reporting the stages
+// that completed and the registers forced so far (use errors.As).
+func (e *Engine) Theorem1(ctx context.Context, m model.Machine, n int) (*Theorem1Witness, error) {
+	e.prog = progress{}
+	initial, err := e.InitialBivalent(ctx, m, n)
 	if err != nil {
-		return nil, err
+		return nil, e.partial(m.Name(), n, err)
 	}
 	witness := &Theorem1Witness{
 		Protocol: m.Name(),
@@ -91,21 +95,22 @@ func (e *Engine) Theorem1(m model.Machine, n int) (*Theorem1Witness, error) {
 	witness.Inputs = inputs
 
 	if n == 2 {
-		return e.theorem1Pair(m, initial, witness)
+		w, err := e.theorem1Pair(ctx, m, initial, witness)
+		return w, e.partial(m.Name(), n, err)
 	}
 
 	all := make([]int, n)
 	for i := range all {
 		all[i] = i
 	}
-	l4, err := e.Lemma4(initial, all)
+	l4, err := e.Lemma4(ctx, initial, all)
 	if err != nil {
-		return nil, fmt.Errorf("theorem 1: %w", err)
+		return nil, e.partial(m.Name(), n, fmt.Errorf("theorem 1: %w", err))
 	}
 	r := model.Without(all, l4.Q...)
-	phi, q, err := e.Lemma3(l4.Config, all, r)
+	phi, q, err := e.Lemma3(ctx, l4.Config, all, r)
 	if err != nil {
-		return nil, fmt.Errorf("theorem 1: %w", err)
+		return nil, e.partial(m.Name(), n, fmt.Errorf("theorem 1: %w", err))
 	}
 	var z int
 	for _, pid := range l4.Q {
@@ -114,9 +119,9 @@ func (e *Engine) Theorem1(m model.Machine, n int) (*Theorem1Witness, error) {
 		}
 	}
 	afterPhi := model.RunPath(l4.Config, phi)
-	zeta, outside, err := e.Lemma2(afterPhi, r, z)
+	zeta, outside, err := e.Lemma2(ctx, afterPhi, r, z)
 	if err != nil {
-		return nil, fmt.Errorf("theorem 1: %w", err)
+		return nil, e.partial(m.Name(), n, fmt.Errorf("theorem 1: %w", err))
 	}
 
 	witness.Execution = model.ConcatPaths(l4.Alpha, phi, zeta)
@@ -151,8 +156,8 @@ func (e *Engine) Theorem1(m model.Machine, n int) (*Theorem1Witness, error) {
 }
 
 // theorem1Pair handles the n=2 case of the theorem's proof.
-func (e *Engine) theorem1Pair(m model.Machine, initial model.Config, w *Theorem1Witness) (*Theorem1Witness, error) {
-	zeta, _, err := e.oracle.SoloDeciding(initial, 0)
+func (e *Engine) theorem1Pair(ctx context.Context, m model.Machine, initial model.Config, w *Theorem1Witness) (*Theorem1Witness, error) {
+	zeta, _, err := e.oracle.SoloDeciding(ctx, initial, 0)
 	if err != nil {
 		return nil, fmt.Errorf("theorem 1 (n=2): %w", err)
 	}

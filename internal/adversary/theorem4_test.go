@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestTheorem1DiskRaceN4(t *testing.T) {
 		KeyFn:      consensus.DiskRace{}.CanonicalKey,
 		MaxConfigs: 220_000_000,
 	})
-	w, err := e.Theorem1(consensus.DiskRace{}, 4)
+	w, err := e.Theorem1(context.Background(), consensus.DiskRace{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -132,26 +133,31 @@ func (r *Report) String() string {
 // vector. It explores the full reachable configuration space (within
 // opts.Explore bounds) and checks Agreement, Validity and solo termination
 // at every configuration.
-func Consensus(m model.Machine, n int, opts Options) (*Report, error) {
-	return agreementAtMost(m, n, 1, opts)
+func Consensus(ctx context.Context, m model.Machine, n int, opts Options) (*Report, error) {
+	return agreementAtMost(ctx, m, n, 1, opts)
 }
 
 // KSet verifies k-set agreement: at most k distinct values decided, plus
 // Validity and solo termination — the checker the paper's Section 4 future
 // work (Ω(n-k) space for k-set agreement) would certify protocols against.
-func KSet(m model.Machine, n, k int, opts Options) (*Report, error) {
-	return agreementAtMost(m, n, k, opts)
+func KSet(ctx context.Context, m model.Machine, n, k int, opts Options) (*Report, error) {
+	return agreementAtMost(ctx, m, n, k, opts)
 }
 
 // agreementAtMost is the shared worker: at most maxDistinct decided values.
-func agreementAtMost(m model.Machine, n, maxDistinct int, opts Options) (*Report, error) {
+func agreementAtMost(ctx context.Context, m model.Machine, n, maxDistinct int, opts Options) (*Report, error) {
 	report := &Report{Protocol: m.Name(), N: n}
 	for _, inputs := range BinaryInputs(n) {
-		if err := checkInputs(m, inputs, maxDistinct, opts, report); err != nil {
+		if err := checkInputs(ctx, m, inputs, maxDistinct, opts, report); err != nil {
 			return report, err
 		}
 		report.Inputs++
 		if len(report.Violations) >= opts.maxViolations() {
+			break
+		}
+		if ctx.Err() != nil {
+			// Deadline hit mid-sweep: the report carries what was
+			// checked so far, marked Capped by the cancelled search.
 			break
 		}
 	}
@@ -175,7 +181,7 @@ func BinaryInputs(n int) [][]model.Value {
 	return out
 }
 
-func checkInputs(m model.Machine, inputs []model.Value, maxDistinct int, opts Options, report *Report) error {
+func checkInputs(ctx context.Context, m model.Machine, inputs []model.Value, maxDistinct int, opts Options, report *Report) error {
 	valid := make(map[model.Value]bool, len(inputs))
 	for _, in := range inputs {
 		valid[in] = true
@@ -194,7 +200,7 @@ func checkInputs(m model.Machine, inputs []model.Value, maxDistinct int, opts Op
 		detail string
 	}
 	var flagged []flag
-	res, err := explore.Reach(root, all, opts.Explore, func(v explore.Visit) bool {
+	res, err := explore.Reach(ctx, root, all, opts.Explore, func(v explore.Visit) bool {
 		decided := v.Config.DecidedValues()
 		if len(decided) > maxDistinct {
 			flagged = append(flagged, flag{

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func TestConsensusAcceptsFloodN2(t *testing.T) {
-	report, err := Consensus(consensus.Flood{}, 2, Options{})
+	report, err := Consensus(context.Background(), consensus.Flood{}, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestConsensusAcceptsFloodN2(t *testing.T) {
 }
 
 func TestConsensusFindsAgreementViolation(t *testing.T) {
-	report, err := Consensus(consensus.GreedyFlood{}, 2, Options{SkipSolo: true})
+	report, err := Consensus(context.Background(), consensus.GreedyFlood{}, 2, Options{SkipSolo: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestConsensusFindsAgreementViolation(t *testing.T) {
 }
 
 func TestConsensusCapsAreReported(t *testing.T) {
-	report, err := Consensus(consensus.DiskRace{}, 3, Options{
+	report, err := Consensus(context.Background(), consensus.DiskRace{}, 3, Options{
 		Explore:  explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey, MaxConfigs: 500},
 		SkipSolo: true,
 	})
@@ -76,7 +77,7 @@ func TestBinaryInputsEnumeration(t *testing.T) {
 }
 
 func TestMaxViolationsCollectsSeveral(t *testing.T) {
-	report, err := Consensus(consensus.GreedyFlood{}, 2, Options{SkipSolo: true, MaxViolations: 3})
+	report, err := Consensus(context.Background(), consensus.GreedyFlood{}, 2, Options{SkipSolo: true, MaxViolations: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

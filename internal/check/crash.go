@@ -4,76 +4,198 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/faults"
 	"repro/internal/model"
 )
 
-// CrashReport summarises a crash-tolerance fuzzing run.
+// CrashOptions configure a crash-tolerance run.
+type CrashOptions struct {
+	// Trials is the number of random fault plans fuzzed when Plans is
+	// empty. Zero means DefaultCrashTrials.
+	Trials int
+	// Seed drives plan generation, input selection and the injected
+	// schedules; the whole run is deterministic in it.
+	Seed int64
+	// SoloCap bounds each survivor's post-crash solo run (total steps
+	// across coin branches). Zero means DefaultSoloStepCap.
+	SoloCap int
+	// Plans, when non-empty, replaces random generation: each plan is one
+	// trial (the covering-targeted and exhaustive-small generators in
+	// internal/faults produce suitable scripts).
+	Plans []faults.Plan
+	// MaxSteps bounds the faulted phase of each trial. Zero means 12n².
+	MaxSteps int
+	// Burst caps the injected scheduler's burst length. Zero means the
+	// faults default (3n+3). Shorter bursts interleave more aggressively,
+	// which is what surfaces stale-view violations in broken protocols.
+	Burst int
+}
+
+// DefaultCrashTrials is the trial count when CrashOptions.Trials is zero.
+const DefaultCrashTrials = 200
+
+// CrashReport summarises a crash-tolerance run.
 type CrashReport struct {
 	Protocol string
 	N        int
 	Trials   int
 	// DecidedBeforeCrash counts trials in which some process had already
-	// decided when the crash was injected (the interesting cases).
+	// decided when the faulted phase ended (the interesting cases).
 	DecidedBeforeCrash int
+	// CoinCrashes counts crashes that landed on a process poised on a
+	// coin flip.
+	CoinCrashes int
+	// HalfWrites counts crashes that landed on a process poised on a write
+	// (crash-amid-writes land the write in shared memory first).
+	HalfWrites int
 }
 
 // String renders the report.
 func (r CrashReport) String() string {
-	return fmt.Sprintf("%s n=%d: %d crash trials ok (%d with a pre-crash decision)",
-		r.Protocol, r.N, r.Trials, r.DecidedBeforeCrash)
+	return fmt.Sprintf("%s n=%d: %d crash trials ok (%d with a pre-crash decision, %d coin crashes, %d half-writes)",
+		r.Protocol, r.N, r.Trials, r.DecidedBeforeCrash, r.CoinCrashes, r.HalfWrites)
 }
 
-// CrashTolerance fuzzes crash-stop failures: run the protocol under a
-// random schedule to a random depth, crash a random subset of processes
-// (they simply never take another step — in asynchronous shared memory a
-// crash is indistinguishable from being very slow), and let one survivor
-// run alone. The survivor must decide (obstruction freedom survives any
-// number of crashes) and must agree with any decision made before the
-// crash. soloCap bounds survivor runs; deterministic protocols only.
-func CrashTolerance(m model.Machine, n, trials int, seed int64, soloCap int) (CrashReport, error) {
+// CrashTolerance checks crash-stop tolerance by executing deterministic,
+// replayable fault plans (internal/faults) in the abstract model: each trial
+// runs the protocol under a plan's seeded schedule — crashing scripted
+// processes at exact operation indices, landing half-completed writes,
+// stalling and reviving — then lets one survivor run alone from the wreck.
+//
+// Three properties are enforced, per trial:
+//
+//   - agreement among ALL processes that decided during the faulted phase
+//     (not just the last one observed);
+//   - the chosen survivor decides within SoloCap solo steps on some coin
+//     outcome sequence (obstruction freedom survives any number of
+//     crash-stops), exploring every coin branch for coin-flipping protocols;
+//   - every decision any solo branch reaches agrees with every decision made
+//     before and during the crashes.
+//
+// Because each trial is a faults.Plan, a failing trial's plan (and seed) is
+// reported and replays the violation exactly.
+func CrashTolerance(m model.Machine, n int, opts CrashOptions) (CrashReport, error) {
+	report := CrashReport{Protocol: m.Name(), N: n}
+	soloCap := opts.SoloCap
 	if soloCap <= 0 {
 		soloCap = DefaultSoloStepCap
 	}
-	rng := rand.New(rand.NewSource(seed))
-	report := CrashReport{Protocol: m.Name(), N: n, Trials: trials}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 12 * n * n
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
 	vectors := BinaryInputs(n)
-	for trial := 0; trial < trials; trial++ {
-		inputs := vectors[rng.Intn(len(vectors))]
-		c := model.NewConfig(m, inputs)
-		for step := 0; step < rng.Intn(12*n*n); step++ {
-			c = c.StepDet(rng.Intn(n))
+
+	plans := opts.Plans
+	if len(plans) == 0 {
+		trials := opts.Trials
+		if trials <= 0 {
+			trials = DefaultCrashTrials
 		}
-		// Record any decision already made.
-		preDecided := model.Bottom
+		plans = make([]faults.Plan, trials)
+		for i := range plans {
+			crashes := 1
+			if n > 2 {
+				crashes += rng.Intn(n - 1)
+			}
+			plans[i] = faults.Random(rng.Int63(), n, crashes, 1+rng.Intn(maxSteps))
+		}
+	}
+
+	for trial, plan := range plans {
+		inputs := vectors[rng.Intn(len(vectors))]
+		rep, err := faults.RunModel(model.NewConfig(m, inputs), plan, faults.RunOptions{MaxSteps: maxSteps, Burst: opts.Burst})
+		if err != nil {
+			return report, fmt.Errorf("crash trial %d (%v): %w", trial, plan, err)
+		}
+		report.Trials++
+
+		// Agreement among every process that decided during the faulted
+		// phase — all of them, not just the last observed.
+		agreed := model.Bottom
 		for pid := 0; pid < n; pid++ {
-			if v, ok := c.Decided(pid); ok {
-				preDecided = v
+			v, ok := rep.Decided[pid]
+			if !ok {
+				continue
+			}
+			if agreed == model.Bottom {
+				agreed = v
+			} else if v != agreed {
+				return report, fmt.Errorf(
+					"crash trial %d (%v): pre-crash deciders disagree: %v (inputs %v)",
+					trial, plan, rep.Decided, inputs)
 			}
 		}
-		if preDecided != model.Bottom {
+		if agreed != model.Bottom {
 			report.DecidedBeforeCrash++
 		}
-		// Crash everyone except one random survivor.
-		survivor := rng.Intn(n)
-		decided := model.Bottom
-		ok := false
-		for step := 0; step < soloCap; step++ {
-			if v, done := c.Decided(survivor); done {
-				decided, ok = v, true
-				break
+		for _, kind := range rep.Crashed {
+			switch kind {
+			case model.OpCoin:
+				report.CoinCrashes++
+			case model.OpWrite:
+				report.HalfWrites++
 			}
-			c = c.StepDet(survivor)
 		}
-		if !ok {
-			return report, fmt.Errorf(
-				"crash trial %d: survivor p%d failed to decide within %d solo steps (inputs %v)",
-				trial, survivor, soloCap, inputs)
+
+		// A lone survivor must decide from the wreck, and every decision
+		// any of its coin branches can reach must agree with the phase's.
+		var undecided []int
+		for _, pid := range rep.Survivors() {
+			if _, ok := rep.Decided[pid]; !ok {
+				undecided = append(undecided, pid)
+			}
 		}
-		if preDecided != model.Bottom && decided != preDecided {
+		if len(undecided) == 0 {
+			continue
+		}
+		survivor := undecided[rng.Intn(len(undecided))]
+		budget := soloCap
+		values, decided := soloDecisions(rep.Final, survivor, &budget)
+		if !decided {
 			return report, fmt.Errorf(
-				"crash trial %d: survivor p%d decided %q but %q was already decided before the crash",
-				trial, survivor, string(decided), string(preDecided))
+				"crash trial %d (%v): survivor p%d failed to decide within %d solo steps (inputs %v)",
+				trial, plan, survivor, soloCap, inputs)
+		}
+		for v := range values {
+			if agreed != model.Bottom && v != agreed {
+				return report, fmt.Errorf(
+					"crash trial %d (%v): survivor p%d can decide %q but %q was already decided before the crash (inputs %v)",
+					trial, plan, survivor, string(v), string(agreed), inputs)
+			}
+		}
+		if len(values) > 1 {
+			return report, fmt.Errorf(
+				"crash trial %d (%v): survivor p%d's solo branches disagree among themselves: %d values (inputs %v)",
+				trial, plan, survivor, len(values), inputs)
 		}
 	}
 	return report, nil
+}
+
+// soloDecisions collects every value process pid can decide running alone
+// from c, branching on coin flips (DFS over outcomes, sharing the step
+// budget across branches). The boolean reports whether any branch decided.
+func soloDecisions(c model.Config, pid int, budget *int) (map[model.Value]bool, bool) {
+	values := make(map[model.Value]bool)
+	var walk func(c model.Config) bool
+	walk = func(c model.Config) bool {
+		if v, ok := c.Decided(pid); ok {
+			values[v] = true
+			return true
+		}
+		if *budget <= 0 {
+			return false
+		}
+		*budget--
+		if c.State(pid).Pending().Kind == model.OpCoin {
+			d0 := walk(c.Step(pid, "0"))
+			d1 := walk(c.Step(pid, "1"))
+			return d0 || d1
+		}
+		return walk(c.StepDet(pid))
+	}
+	decided := walk(c)
+	return values, decided
 }

@@ -4,14 +4,16 @@ import (
 	"testing"
 
 	"repro/internal/consensus"
+	"repro/internal/faults"
+	"repro/internal/model"
 )
 
-// TestCrashToleranceDiskRace injects crash-stop failures into DiskRace runs
-// at several sizes: any lone survivor must decide, and must agree with any
-// decision that happened before the crash.
+// TestCrashToleranceDiskRace injects fault plans into DiskRace runs at
+// several sizes: every pre-crash decider must agree, and any lone survivor
+// must decide compatibly.
 func TestCrashToleranceDiskRace(t *testing.T) {
 	for _, n := range []int{2, 3, 5} {
-		report, err := CrashTolerance(consensus.DiskRace{}, n, 400, int64(n), 0)
+		report, err := CrashTolerance(consensus.DiskRace{}, n, CrashOptions{Trials: 400, Seed: int64(n)})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -25,19 +27,41 @@ func TestCrashToleranceDiskRace(t *testing.T) {
 // TestCrashToleranceFloodN2 does the same for the finite-state protocol at
 // its verified size.
 func TestCrashToleranceFloodN2(t *testing.T) {
-	report, err := CrashTolerance(consensus.Flood{}, 2, 400, 7, 0)
+	report, err := CrashTolerance(consensus.Flood{}, 2, CrashOptions{Trials: 400, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("%v", report)
 }
 
+// TestCrashToleranceExplicitPlans runs CrashTolerance over scripted plans
+// instead of random ones: the exhaustive single-crash sweep plus a
+// covering-targeted plan, the two generator modes the CLI exposes.
+func TestCrashToleranceExplicitPlans(t *testing.T) {
+	plans := faults.ExhaustiveSmall(3, 12)
+	if plan, err := faults.CoveringTargeted(consensus.Flood{}, []model.Value{"0", "1", "1"}, 3, 2, 0); err == nil {
+		plans = append(plans, plan)
+	} else {
+		t.Fatalf("covering-targeted generation failed: %v", err)
+	}
+	report, err := CrashTolerance(consensus.Flood{}, 3, CrashOptions{Plans: plans, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Trials != len(plans) {
+		t.Fatalf("ran %d of %d plans", report.Trials, len(plans))
+	}
+	t.Logf("%v", report)
+}
+
 // TestCrashToleranceCatchesEagerFlood: the broken protocol must fail the
-// crash fuzz at n=3 (a survivor can contradict a pre-crash decision).
+// crash fuzz at n=3 (a survivor can contradict a pre-crash decision). Burst
+// length 3 interleaves aggressively enough to set up the stale view; long
+// solo bursts let every run finish cleanly and miss it.
 func TestCrashToleranceCatchesEagerFlood(t *testing.T) {
 	var failed bool
 	for seed := int64(0); seed < 40 && !failed; seed++ {
-		if _, err := CrashTolerance(consensus.EagerFlood{}, 3, 500, seed, 0); err != nil {
+		if _, err := CrashTolerance(consensus.EagerFlood{}, 3, CrashOptions{Trials: 500, Seed: seed, Burst: 3}); err != nil {
 			failed = true
 			t.Logf("caught: %v", err)
 		}
@@ -45,4 +69,24 @@ func TestCrashToleranceCatchesEagerFlood(t *testing.T) {
 	if !failed {
 		t.Skip("fuzzing did not reach the known violation; exhaustive checker covers it")
 	}
+}
+
+// TestCrashToleranceCoinFloodCoverage exercises crash-during-coin schedules:
+// across a sweep of seeds, some trial must crash a process poised on a coin
+// flip. CoinFlood is deliberately broken under adversarial coins, so a
+// caught agreement violation is an acceptable outcome too — what the test
+// rejects is the fuzzer never reaching a coin crash at all.
+func TestCrashToleranceCoinFloodCoverage(t *testing.T) {
+	coinCrashes := 0
+	for seed := int64(0); seed < 30; seed++ {
+		report, err := CrashTolerance(consensus.CoinFlood{}, 2, CrashOptions{Trials: 200, Seed: seed})
+		coinCrashes += report.CoinCrashes
+		if err != nil {
+			t.Logf("seed %d caught the broken protocol (as it may): %v", seed, err)
+		}
+		if coinCrashes > 0 {
+			return
+		}
+	}
+	t.Fatalf("no trial across the sweep crashed a process poised on a coin flip")
 }

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestAdoptCommitModelProperties(t *testing.T) {
 				all[i] = i
 			}
 			root := model.NewConfig(AdoptCommit{}, inputs)
-			_, err := explore.Reach(root, all, explore.Options{}, func(v explore.Visit) bool {
+			_, err := explore.Reach(context.Background(), root, all, explore.Options{}, func(v explore.Visit) bool {
 				committed := map[string]bool{}
 				outcomes := map[string]bool{}
 				done := 0

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/check"
@@ -14,7 +15,7 @@ import (
 // value over a decision — and the witness must actually contain an
 // adversary-chosen coin flip.
 func TestCoinFloodAdversarialCoins(t *testing.T) {
-	report, err := check.Consensus(CoinFlood{}, 2, check.Options{SkipSolo: true})
+	report, err := check.Consensus(context.Background(), CoinFlood{}, 2, check.Options{SkipSolo: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,7 +23,7 @@ func diskOpts() explore.Options {
 // implementation, and TestDiskRaceSoloTermination covers obstruction
 // freedom.
 func TestDiskRaceAgreement(t *testing.T) {
-	report, err := check.Consensus(DiskRace{}, 2, check.Options{Explore: diskOpts()})
+	report, err := check.Consensus(context.Background(), DiskRace{}, 2, check.Options{Explore: diskOpts()})
 	if err != nil {
 		t.Fatalf("n=2: %v", err)
 	}
@@ -36,7 +37,7 @@ func TestDiskRaceAgreement(t *testing.T) {
 	}
 	opts := diskOpts()
 	opts.MaxConfigs = 150_000 // per input vector; bounded, not exhaustive
-	report, err = check.Consensus(DiskRace{}, 3, check.Options{
+	report, err = check.Consensus(context.Background(), DiskRace{}, 3, check.Options{
 		Explore:  opts,
 		SkipSolo: true, // covered by TestDiskRaceSoloTermination
 	})

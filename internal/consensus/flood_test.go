@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/check"
@@ -12,7 +13,7 @@ import (
 // input vector, every interleaving, checking Agreement, Validity and solo
 // termination from every reachable configuration.
 func TestFloodAgreementN2(t *testing.T) {
-	report, err := check.Consensus(Flood{}, 2, check.Options{})
+	report, err := check.Consensus(context.Background(), Flood{}, 2, check.Options{})
 	if err != nil {
 		t.Fatalf("n=2: %v", err)
 	}
@@ -30,7 +31,7 @@ func TestFloodAgreementN2(t *testing.T) {
 // obstruction-free consensus protocol has been discovered and a paper should
 // be written instead.
 func TestFloodN3CoveringAttack(t *testing.T) {
-	report, err := check.Consensus(Flood{}, 3, check.Options{SkipSolo: true})
+	report, err := check.Consensus(context.Background(), Flood{}, 3, check.Options{SkipSolo: true})
 	if err != nil {
 		t.Fatalf("n=3: %v", err)
 	}
@@ -103,7 +104,7 @@ func TestFloodBivalentInitial(t *testing.T) {
 	c := model.NewConfig(Flood{}, []model.Value{"0", "1", "1"})
 	all := []int{0, 1, 2}
 	seen := map[model.Value]bool{}
-	res, err := explore.Reach(c, all, explore.Options{}, func(v explore.Visit) bool {
+	res, err := explore.Reach(context.Background(), c, all, explore.Options{}, func(v explore.Visit) bool {
 		for val := range v.Config.DecidedValues() {
 			seen[val] = true
 		}

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/check"
@@ -18,7 +19,7 @@ func ksetOpts() explore.Options {
 // TestKSetAtMostKValues model-checks 2-set agreement among 3 processes
 // exhaustively-within-bounds: never more than 2 distinct decisions.
 func TestKSetAtMostKValues(t *testing.T) {
-	report, err := check.KSet(KSet{K: 2}, 3, 2, check.Options{
+	report, err := check.KSet(context.Background(), KSet{K: 2}, 3, 2, check.Options{
 		Explore:  ksetOpts(),
 		SkipSolo: true,
 	})
@@ -35,7 +36,7 @@ func TestKSetAtMostKValues(t *testing.T) {
 // (bounded) consensus checker at n=2 — it is DiskRace in one lane, behind
 // the wrapper that hides it from the ballot canonicaliser.
 func TestKSetConsensusDegenerate(t *testing.T) {
-	report, err := check.Consensus(KSet{K: 1}, 2, check.Options{
+	report, err := check.Consensus(context.Background(), KSet{K: 1}, 2, check.Options{
 		Explore:  ksetOpts(),
 		SkipSolo: true,
 	})
@@ -51,7 +52,7 @@ func TestKSetConsensusDegenerate(t *testing.T) {
 // allows two decisions: there is a reachable configuration of kset(2) with
 // two distinct decided values (so the consensus checker must reject it).
 func TestKSetCanExceedConsensus(t *testing.T) {
-	report, err := check.Consensus(KSet{K: 2}, 3, check.Options{
+	report, err := check.Consensus(context.Background(), KSet{K: 2}, 3, check.Options{
 		Explore:  ksetOpts(),
 		SkipSolo: true,
 	})

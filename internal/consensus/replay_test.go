@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/check"
@@ -10,7 +11,7 @@ import (
 // TestReplayViolation prints the first checker counterexample step by step.
 // It is a debugging aid kept under -run ReplayViolation -v; it never fails.
 func TestReplayViolation(t *testing.T) {
-	report, err := check.Consensus(Flood{}, 3, check.Options{SkipSolo: true})
+	report, err := check.Consensus(context.Background(), Flood{}, 3, check.Options{SkipSolo: true})
 	if err != nil {
 		t.Fatalf("check: %v", err)
 	}

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/check"
@@ -12,7 +13,7 @@ import (
 // what the paper proves needs n-1=1 read/write registers — and achieving it
 // wait-free, which registers cannot do at all [LAA87].
 func TestSwapPairConsensus(t *testing.T) {
-	report, err := check.Consensus(SwapPair{}, 2, check.Options{})
+	report, err := check.Consensus(context.Background(), SwapPair{}, 2, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/check"
@@ -10,7 +11,7 @@ import (
 // adoption bug at n=2: a stale covering write obliterates the decided value
 // and the tie-breaking laggard pushes its own value through.
 func TestGreedyFloodIsBroken(t *testing.T) {
-	report, err := check.Consensus(GreedyFlood{}, 2, check.Options{SkipSolo: true})
+	report, err := check.Consensus(context.Background(), GreedyFlood{}, 2, check.Options{SkipSolo: true})
 	if err != nil {
 		t.Fatalf("check: %v", err)
 	}
@@ -26,14 +27,14 @@ func TestGreedyFloodIsBroken(t *testing.T) {
 // TestEagerFloodIsBroken verifies the checker catches single-scan deciding
 // at n=3 (unanimous scans assembled across epochs), while n=2 is clean.
 func TestEagerFloodIsBroken(t *testing.T) {
-	clean, err := check.Consensus(EagerFlood{}, 2, check.Options{})
+	clean, err := check.Consensus(context.Background(), EagerFlood{}, 2, check.Options{})
 	if err != nil {
 		t.Fatalf("n=2 check: %v", err)
 	}
 	if !clean.OK() {
 		t.Fatalf("eagerflood unexpectedly broken at n=2: %v", clean)
 	}
-	report, err := check.Consensus(EagerFlood{}, 3, check.Options{SkipSolo: true})
+	report, err := check.Consensus(context.Background(), EagerFlood{}, 3, check.Options{SkipSolo: true})
 	if err != nil {
 		t.Fatalf("n=3 check: %v", err)
 	}

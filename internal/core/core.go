@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -60,8 +61,10 @@ func Machine(name string) (model.Machine, explore.Options, error) {
 }
 
 // Attack runs the Theorem 1 adversary against the named protocol with n
-// processes. maxConfigs bounds each exhaustive valency query (0 = default).
-func Attack(protocol string, n, maxConfigs int) (*adversary.Theorem1Witness, error) {
+// processes. maxConfigs bounds each exhaustive valency query (0 = default);
+// ctx bounds the whole construction in wall-clock time, and a cancelled run
+// returns an *adversary.Partial error reporting its progress.
+func Attack(ctx context.Context, protocol string, n, maxConfigs int) (*adversary.Theorem1Witness, error) {
 	m, opts, err := Machine(protocol)
 	if err != nil {
 		return nil, err
@@ -70,13 +73,13 @@ func Attack(protocol string, n, maxConfigs int) (*adversary.Theorem1Witness, err
 		opts.MaxConfigs = maxConfigs
 	}
 	engine := adversary.New(valency.New(opts))
-	return engine.Theorem1(m, n)
+	return engine.Theorem1(ctx, m, n)
 }
 
 // Verify model-checks the named protocol with n processes over all binary
 // input vectors. maxConfigs bounds each exploration (0 = default); when the
 // bound binds the report says so rather than over-claiming.
-func Verify(protocol string, n, maxConfigs int) (*check.Report, error) {
+func Verify(ctx context.Context, protocol string, n, maxConfigs int) (*check.Report, error) {
 	m, opts, err := Machine(protocol)
 	if err != nil {
 		return nil, err
@@ -84,17 +87,17 @@ func Verify(protocol string, n, maxConfigs int) (*check.Report, error) {
 	if maxConfigs > 0 {
 		opts.MaxConfigs = maxConfigs
 	}
-	return check.Consensus(m, n, check.Options{Explore: opts, MaxViolations: 1})
+	return check.Consensus(ctx, m, n, check.Options{Explore: opts, MaxViolations: 1})
 }
 
 // VerifyKSet model-checks the lane-partitioned k-set agreement protocol for
 // n processes: at most k distinct decisions (bounded exploration; the lane
 // wrapper hides ballots from the canonicaliser).
-func VerifyKSet(n, k, maxConfigs int) (*check.Report, error) {
+func VerifyKSet(ctx context.Context, n, k, maxConfigs int) (*check.Report, error) {
 	if maxConfigs <= 0 {
 		maxConfigs = 100_000
 	}
-	return check.KSet(consensus.KSet{K: k}, n, k, check.Options{
+	return check.KSet(ctx, consensus.KSet{K: k}, n, k, check.Options{
 		Explore:  explore.Options{MaxConfigs: maxConfigs},
 		SkipSolo: true,
 	})

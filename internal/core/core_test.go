@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestMachineResolution(t *testing.T) {
 	for _, name := range []string{ProtocolDiskRace, ProtocolFlood, ProtocolEagerFlood, ProtocolGreedyFlood, ProtocolCoinFlood} {
@@ -18,7 +21,7 @@ func TestMachineResolution(t *testing.T) {
 }
 
 func TestAttackFacade(t *testing.T) {
-	w, err := Attack(ProtocolDiskRace, 3, 0)
+	w, err := Attack(context.Background(), ProtocolDiskRace, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,14 +31,14 @@ func TestAttackFacade(t *testing.T) {
 }
 
 func TestVerifyFacade(t *testing.T) {
-	report, err := Verify(ProtocolFlood, 2, 0)
+	report, err := Verify(context.Background(), ProtocolFlood, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !report.OK() {
 		t.Fatalf("flood n=2 should verify: %v", report)
 	}
-	broken, err := Verify(ProtocolGreedyFlood, 2, 0)
+	broken, err := Verify(context.Background(), ProtocolGreedyFlood, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +71,7 @@ func TestPerturbFacade(t *testing.T) {
 }
 
 func TestVerifyKSetFacade(t *testing.T) {
-	report, err := VerifyKSet(3, 2, 30_000)
+	report, err := VerifyKSet(context.Background(), 3, 2, 30_000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -31,6 +32,11 @@ import (
 // before exhausting the reachable space. Results derived from a capped
 // exploration are not sound for "for all executions" claims.
 var ErrCapped = errors.New("exploration capped before exhausting state space")
+
+// cancelCheckInterval is how many expanded transitions pass between
+// context-cancellation polls: frequent enough that a deadline lands within
+// microseconds of real work, rare enough to stay off the hot path.
+const cancelCheckInterval = 1 << 10
 
 // Options bound an exploration. The zero value means "use defaults".
 type Options struct {
@@ -170,9 +176,19 @@ func Apply(c model.Config, m model.Move) model.Config {
 // visit callback, if non-nil, is invoked once per distinct configuration in
 // BFS order and may return false to stop the search early (the result is
 // then marked Capped, since the space was not exhausted).
-func Reach(c model.Config, p []int, opts Options, visit func(Visit) bool) (*Result, error) {
+//
+// ctx bounds the search in wall-clock time: when it is cancelled or its
+// deadline passes, the search stops, marks the result Capped, and returns it
+// together with an error wrapping ctx.Err() — everything visited so far is
+// still valid, the space just was not exhausted. The states-visited budget
+// is Options.MaxConfigs.
+func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit func(Visit) bool) (*Result, error) {
 	res := &Result{}
 	maxConfigs := opts.maxConfigs()
+	if err := ctx.Err(); err != nil {
+		res.Capped = true
+		return res, fmt.Errorf("reach cancelled before start: %w (and %w)", err, ErrCapped)
+	}
 
 	visited := make(map[fingerprint]struct{}, 1024)
 	visited[fingerprintOf(opts.ConfigKey(c))] = struct{}{}
@@ -208,6 +224,12 @@ func Reach(c model.Config, p []int, opts Options, visit func(Visit) bool) (*Resu
 		}
 		for _, m := range Moves(cur.cfg, p) {
 			res.Steps++
+			if res.Steps%cancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					res.Capped = true
+					return res, fmt.Errorf("reach cancelled after %d configs: %w (and %w)", res.Count, err, ErrCapped)
+				}
+			}
 			next := Apply(cur.cfg, m)
 			fp := fingerprintOf(opts.ConfigKey(next))
 			if _, seen := visited[fp]; seen {

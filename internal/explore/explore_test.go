@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"strconv"
 	"testing"
@@ -72,7 +73,7 @@ func TestReachCountsLineGraph(t *testing.T) {
 	// Two processes with budgets 2 and 3: states (3 options) x (4 options)
 	// = 12 configurations.
 	c := model.NewConfig(chainMachine{}, []model.Value{"2", "3"})
-	res, err := Reach(c, []int{0, 1}, Options{}, nil)
+	res, err := Reach(context.Background(), c, []int{0, 1}, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestReachCountsLineGraph(t *testing.T) {
 
 func TestReachRestrictedProcessSet(t *testing.T) {
 	c := model.NewConfig(chainMachine{}, []model.Value{"2", "3"})
-	res, err := Reach(c, []int{1}, Options{}, nil)
+	res, err := Reach(context.Background(), c, []int{1}, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestReachRestrictedProcessSet(t *testing.T) {
 
 func TestReachCapErrors(t *testing.T) {
 	c := model.NewConfig(chainMachine{}, []model.Value{"9", "9"})
-	_, err := Reach(c, []int{0, 1}, Options{MaxConfigs: 10}, nil)
+	_, err := Reach(context.Background(), c, []int{0, 1}, Options{MaxConfigs: 10}, nil)
 	if !errors.Is(err, ErrCapped) {
 		t.Fatalf("err = %v, want ErrCapped", err)
 	}
@@ -105,7 +106,7 @@ func TestReachCapErrors(t *testing.T) {
 
 func TestReachDepthCap(t *testing.T) {
 	c := model.NewConfig(chainMachine{}, []model.Value{"9", "9"})
-	res, err := Reach(c, []int{0, 1}, Options{MaxDepth: 2}, nil)
+	res, err := Reach(context.Background(), c, []int{0, 1}, Options{MaxDepth: 2}, nil)
 	if !errors.Is(err, ErrCapped) {
 		t.Fatalf("err = %v, want ErrCapped", err)
 	}
@@ -118,7 +119,7 @@ func TestReachDepthCap(t *testing.T) {
 func TestReachVisitStop(t *testing.T) {
 	c := model.NewConfig(chainMachine{}, []model.Value{"5", "5"})
 	calls := 0
-	_, err := Reach(c, []int{0, 1}, Options{}, func(Visit) bool {
+	_, err := Reach(context.Background(), c, []int{0, 1}, Options{}, func(Visit) bool {
 		calls++
 		return calls < 3
 	})
@@ -133,7 +134,7 @@ func TestReachVisitStop(t *testing.T) {
 func TestPathToReplays(t *testing.T) {
 	c := model.NewConfig(chainMachine{}, []model.Value{"2", "2"})
 	target := -1
-	res, err := Reach(c, []int{0, 1}, Options{}, func(v Visit) bool {
+	res, err := Reach(context.Background(), c, []int{0, 1}, Options{}, func(v Visit) bool {
 		if len(v.Config.DecidedValues()) > 0 && v.Config.Register(0) == "1" {
 			if _, ok := v.Config.Decided(1); ok {
 				target = v.ID
@@ -166,7 +167,7 @@ func TestMovesBranchesOnCoins(t *testing.T) {
 	if len(moves) != 4 {
 		t.Fatalf("got %d moves, want 4 (two per coin flipper)", len(moves))
 	}
-	res, err := Reach(c, []int{0, 1}, Options{}, nil)
+	res, err := Reach(context.Background(), c, []int{0, 1}, Options{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

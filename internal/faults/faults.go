@@ -1,0 +1,219 @@
+// Package faults provides deterministic, replayable fault injection for both
+// runtimes of this repository: the abstract shared-memory model
+// (internal/model) and the native goroutine runtime (internal/register,
+// internal/native).
+//
+// The paper's lower bound covers exactly the protocols that survive any
+// number of crash-stop failures (obstruction freedom), and the adversaries of
+// Revisionist Simulations crash and revive processes at precise covering
+// points. A Plan is an executable script of such faults: crash-stop at a
+// process's k-th operation, stall for a window, revive at a global point,
+// crash in the middle of a write. Plans are plain values — replaying the same
+// plan with the same seed reproduces the same execution in both runtimes,
+// which is what turns a fuzzing anecdote into a regression test.
+//
+// Three layers build on Plan:
+//
+//   - RunModel executes a plan against a model.Config step loop (the
+//     injecting scheduler used by internal/check's crash-tolerance checker);
+//   - Controller + Array enforce a plan on live goroutines via per-process
+//     gates around every register operation (used by internal/native);
+//   - the generators (Random, CoveringTargeted, ExhaustiveSmall) produce
+//     plan families for fuzzing, targeted attacks and small exhaustive
+//     sweeps.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates fault event kinds. The enum starts at one so the zero
+// value is detectably invalid.
+type Kind uint8
+
+const (
+	// CrashStop halts the process immediately before it performs its
+	// Step-th shared-memory operation. Without a later Revive the process
+	// never takes another step (crash-stop); with one it resumes in place
+	// at the revive point (crash-recovery: nothing local is lost, which
+	// matches disk-backed protocols such as DiskRace, where all protocol
+	// state of record lives in shared registers).
+	CrashStop Kind = iota + 1
+	// Stall makes the process stand aside, starting immediately before
+	// its Step-th operation, until Duration further global operations
+	// have completed. In asynchronous shared memory a stall is
+	// indistinguishable from slowness; plans use it to open solo windows
+	// and to line processes up on covering points.
+	Stall
+	// Revive resumes a crashed process. Step is a global operation index
+	// (the run's total operation count), not a per-process one: revival
+	// is an adversary decision about the whole execution.
+	Revive
+	// CrashAmidWrite crashes the process in the middle of its Step-th
+	// operation, which must be a write: the write takes effect in shared
+	// memory, but the process halts without observing completion (its
+	// local state does not advance). If the operation turns out not to be
+	// a write, the event degrades to a CrashStop.
+	CrashAmidWrite
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CrashStop:
+		return "crash-stop"
+	case Stall:
+		return "stall"
+	case Revive:
+		return "revive"
+	case CrashAmidWrite:
+		return "crash-amid-write"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scripted fault.
+type Event struct {
+	Kind Kind
+	// Pid is the process the event applies to.
+	Pid int
+	// Step is the 0-based per-process operation index at which the event
+	// fires (CrashStop, Stall, CrashAmidWrite), or the global operation
+	// index for Revive.
+	Step int
+	// Duration is the number of global operations a Stall lasts; unused
+	// by the other kinds.
+	Duration int
+}
+
+// String renders the event, e.g. "crash-stop(p2@op4)".
+func (e Event) String() string {
+	switch e.Kind {
+	case Stall:
+		return fmt.Sprintf("stall(p%d@op%d, %d ops)", e.Pid, e.Step, e.Duration)
+	case Revive:
+		return fmt.Sprintf("revive(p%d@global%d)", e.Pid, e.Step)
+	default:
+		return fmt.Sprintf("%v(p%d@op%d)", e.Kind, e.Pid, e.Step)
+	}
+}
+
+// Plan is a deterministic, replayable fault script. The zero value is the
+// fault-free plan. Plans are plain values: copy, compare and serialise them
+// freely.
+type Plan struct {
+	// Name identifies the plan in reports.
+	Name string
+	// Seed drives every scheduling decision a runner makes while
+	// executing the plan (which process moves next, burst lengths, coin
+	// outcomes in the model runtime). Same plan + same seed = same
+	// execution.
+	Seed int64
+	// Events is the fault script. Events for one process must be listed
+	// in non-decreasing Step order.
+	Events []Event
+}
+
+// Validate checks the plan against a system of n processes: pids in range,
+// kinds valid, per-process steps non-decreasing, revives only for processes
+// that crash, stalls with positive duration.
+func (p Plan) Validate(n int) error {
+	lastStep := make(map[int]int, n)
+	crashes := make(map[int]bool, n)
+	for i, e := range p.Events {
+		if e.Pid < 0 || e.Pid >= n {
+			return fmt.Errorf("faults: event %d: pid %d out of range [0,%d)", i, e.Pid, n)
+		}
+		if e.Step < 0 {
+			return fmt.Errorf("faults: event %d: negative step %d", i, e.Step)
+		}
+		switch e.Kind {
+		case CrashStop, CrashAmidWrite:
+			if crashes[e.Pid] {
+				return fmt.Errorf("faults: event %d: p%d crashes twice without a revive", i, e.Pid)
+			}
+			crashes[e.Pid] = true
+		case Stall:
+			if e.Duration <= 0 {
+				return fmt.Errorf("faults: event %d: stall needs positive duration, got %d", i, e.Duration)
+			}
+		case Revive:
+			if !crashes[e.Pid] {
+				return fmt.Errorf("faults: event %d: revive of p%d, which has no prior crash", i, e.Pid)
+			}
+			crashes[e.Pid] = false
+			continue // revive steps are global, not per-process
+		default:
+			return fmt.Errorf("faults: event %d: invalid kind %v", i, e.Kind)
+		}
+		if last, ok := lastStep[e.Pid]; ok && e.Step < last {
+			return fmt.Errorf("faults: event %d: p%d steps out of order (%d after %d)", i, e.Pid, e.Step, last)
+		}
+		lastStep[e.Pid] = e.Step
+	}
+	return nil
+}
+
+// Crashes returns the set of processes the plan crash-stops without a
+// subsequent revive — the processes a runner will report as failed.
+func (p Plan) Crashes() map[int]bool {
+	out := make(map[int]bool)
+	for _, e := range p.Events {
+		switch e.Kind {
+		case CrashStop, CrashAmidWrite:
+			out[e.Pid] = true
+		case Revive:
+			delete(out, e.Pid)
+		}
+	}
+	return out
+}
+
+// String renders the plan in one line.
+func (p Plan) String() string {
+	name := p.Name
+	if name == "" {
+		name = "plan"
+	}
+	if len(p.Events) == 0 {
+		return fmt.Sprintf("%s(seed=%d, fault-free)", name, p.Seed)
+	}
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("%s(seed=%d): %s", name, p.Seed, strings.Join(parts, " "))
+}
+
+// ErrCrashed is the error a gate reports to a process halted by a crash
+// event. Native protocol code does not thread errors through register
+// operations, so the Array handles convert it into a CrashSignal panic that
+// the harness recovers.
+var ErrCrashed = errors.New("faults: process crash-stopped by plan")
+
+// ErrAborted is reported by gates after Controller.Abort — the watchdog path
+// for runs that stop making progress.
+var ErrAborted = errors.New("faults: run aborted by watchdog")
+
+// CrashSignal is the panic payload a faulty register handle throws when its
+// process hits a crash event (or an abort): it unwinds straight-line
+// protocol code the way a real crash would, and the harness recovers it at
+// the goroutine boundary.
+type CrashSignal struct {
+	Pid int
+	Err error
+}
+
+// String implements fmt.Stringer.
+func (c CrashSignal) String() string {
+	return fmt.Sprintf("p%d: %v", c.Pid, c.Err)
+}
+
+// AsCrash reports whether a recovered panic value is a CrashSignal.
+func AsCrash(r any) (CrashSignal, bool) {
+	c, ok := r.(CrashSignal)
+	return c, ok
+}

@@ -1,0 +1,208 @@
+package faults
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+)
+
+func TestPlanValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		plan    Plan
+		n       int
+		wantErr bool
+	}{
+		{name: "fault-free", plan: Plan{}, n: 2},
+		{name: "crash", plan: Plan{Events: []Event{{Kind: CrashStop, Pid: 1, Step: 3}}}, n: 2},
+		{
+			name: "crash-revive-crash",
+			plan: Plan{Events: []Event{
+				{Kind: CrashStop, Pid: 0, Step: 1},
+				{Kind: Revive, Pid: 0, Step: 10},
+				{Kind: CrashAmidWrite, Pid: 0, Step: 4},
+			}},
+			n: 2,
+		},
+		{name: "pid out of range", plan: Plan{Events: []Event{{Kind: CrashStop, Pid: 2, Step: 0}}}, n: 2, wantErr: true},
+		{name: "negative step", plan: Plan{Events: []Event{{Kind: CrashStop, Pid: 0, Step: -1}}}, n: 2, wantErr: true},
+		{name: "double crash", plan: Plan{Events: []Event{
+			{Kind: CrashStop, Pid: 0, Step: 1},
+			{Kind: CrashStop, Pid: 0, Step: 2},
+		}}, n: 2, wantErr: true},
+		{name: "revive without crash", plan: Plan{Events: []Event{{Kind: Revive, Pid: 0, Step: 5}}}, n: 2, wantErr: true},
+		{name: "zero-length stall", plan: Plan{Events: []Event{{Kind: Stall, Pid: 0, Step: 0}}}, n: 2, wantErr: true},
+		{name: "invalid kind", plan: Plan{Events: []Event{{Pid: 0}}}, n: 2, wantErr: true},
+		{name: "steps out of order", plan: Plan{Events: []Event{
+			{Kind: Stall, Pid: 0, Step: 5, Duration: 1},
+			{Kind: CrashStop, Pid: 0, Step: 2},
+		}}, n: 2, wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(tc.n)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %t", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRandomGeneratorDeterministic(t *testing.T) {
+	a := Random(42, 5, 3, 20)
+	b := Random(42, 5, 3, 20)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	if err := a.Validate(5); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	if got := len(a.Crashes()); got != 3 {
+		t.Fatalf("expected 3 crashes, got %d (%v)", got, a)
+	}
+}
+
+func TestExhaustiveSmall(t *testing.T) {
+	plans := ExhaustiveSmall(3, 4)
+	if len(plans) != 3*4+1 {
+		t.Fatalf("expected %d plans, got %d", 3*4+1, len(plans))
+	}
+	for _, p := range plans {
+		if err := p.Validate(3); err != nil {
+			t.Fatalf("plan %v invalid: %v", p, err)
+		}
+	}
+}
+
+func TestCoveringTargeted(t *testing.T) {
+	plan, err := CoveringTargeted(consensus.Flood{}, []model.Value{"0", "1"}, 7, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Events) != 1 || plan.Events[0].Kind != CrashStop {
+		t.Fatalf("expected one crash-stop at a covering point, got %v", plan)
+	}
+	if err := plan.Validate(2); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+}
+
+// TestRunModelReplayDeterministic: the same plan from the same configuration
+// must produce the identical execution — the property that turns fuzzing
+// runs into regression tests.
+func TestRunModelReplayDeterministic(t *testing.T) {
+	inputs := []model.Value{"0", "1", "1"}
+	plan := Random(11, 3, 2, 15)
+	run := func() *Report {
+		rep, err := RunModel(model.NewConfig(consensus.Flood{}, inputs), plan, RunOptions{MaxSteps: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Path, b.Path) {
+		t.Fatalf("replay diverged:\n%v\n%v", a.Path, b.Path)
+	}
+	if a.Final.Key() != b.Final.Key() {
+		t.Fatalf("replay reached different configurations")
+	}
+	if !reflect.DeepEqual(a.Crashed, b.Crashed) || !reflect.DeepEqual(a.Decided, b.Decided) {
+		t.Fatalf("replay crash/decision sets differ: %v/%v vs %v/%v", a.Crashed, a.Decided, b.Crashed, b.Decided)
+	}
+}
+
+// TestRunModelCrashAmidWrite stalls p1 so that p0 runs solo to its first
+// write (Flood: two reads, then a write), crashes p0 in the middle of that
+// write, and checks the fault's defining property: the value landed in the
+// register, but p0's local state never advanced past the write.
+func TestRunModelCrashAmidWrite(t *testing.T) {
+	inputs := []model.Value{"0", "1"}
+	plan := Plan{
+		Name: "half-write",
+		Seed: 1,
+		Events: []Event{
+			{Kind: Stall, Pid: 1, Step: 0, Duration: 50},
+			{Kind: CrashAmidWrite, Pid: 0, Step: 2},
+		},
+	}
+	rep, err := RunModel(model.NewConfig(consensus.Flood{}, inputs), plan, RunOptions{MaxSteps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, ok := rep.Crashed[0]; !ok || kind != model.OpWrite {
+		t.Fatalf("p0 should have crashed amid a write, crashed=%v", rep.Crashed)
+	}
+	if got := rep.Final.Register(0); got != "0" {
+		t.Fatalf("half-completed write should have landed %q in r0, got %q", "0", string(got))
+	}
+	if !rep.Final.Covers(0, 0) {
+		t.Fatalf("p0's local state should still be poised on the write to r0")
+	}
+	// p1, running after its stall over the debris of the half-write, must
+	// still decide — and, having seen p0's landed value first, adopts it.
+	if v, ok := rep.Decided[1]; !ok || v != "0" {
+		t.Fatalf("survivor p1 should decide %q over the half-write, got %v (decided=%v)", "0", v, rep.Decided)
+	}
+	if len(rep.Survivors()) != 1 || rep.Survivors()[0] != 1 {
+		t.Fatalf("survivors = %v, want [1]", rep.Survivors())
+	}
+}
+
+// TestRunModelRevive crashes p0 early and revives it: the run must end with
+// p0 alive, both processes decided, and agreement intact.
+func TestRunModelRevive(t *testing.T) {
+	inputs := []model.Value{"1", "1"}
+	plan := Plan{
+		Name: "crash-revive",
+		Seed: 3,
+		Events: []Event{
+			{Kind: CrashStop, Pid: 0, Step: 1},
+			{Kind: Revive, Pid: 0, Step: 8},
+		},
+	}
+	rep, err := RunModel(model.NewConfig(consensus.Flood{}, inputs), plan, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Crashed) != 0 {
+		t.Fatalf("revived process still reported crashed: %v", rep.Crashed)
+	}
+	if len(rep.Decided) != 2 {
+		t.Fatalf("both processes should decide after the revive, decided=%v (steps=%d)", rep.Decided, rep.Steps)
+	}
+	if rep.Decided[0] != rep.Decided[1] {
+		t.Fatalf("agreement violated across a crash-revive: %v", rep.Decided)
+	}
+}
+
+// TestRunModelCrashDuringCoin drives the coin-flipping protocol into a crash
+// landing exactly on a coin flip, exercising the crash-during-coin schedules
+// the deterministic-only fuzzer could never produce. A coin is only pending
+// after a full scan observing both values, which takes a specific
+// interleaving — so the test sweeps schedules (seeds) as well as crash points.
+func TestRunModelCrashDuringCoin(t *testing.T) {
+	inputs := []model.Value{"0", "1"}
+	for seed := int64(0); seed < 60; seed++ {
+		for pid := 0; pid < 2; pid++ {
+			for step := 0; step < 10; step++ {
+				plan := Plan{
+					Name:   fmt.Sprintf("coin-crash-p%d@%d", pid, step),
+					Seed:   seed,
+					Events: []Event{{Kind: CrashStop, Pid: pid, Step: step}},
+				}
+				rep, err := RunModel(model.NewConfig(consensus.CoinFlood{}, inputs), plan, RunOptions{MaxSteps: 300})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Crashed[pid] == model.OpCoin {
+					return // found a crash landing on a pending coin flip
+				}
+			}
+		}
+	}
+	t.Fatalf("no swept plan crashed a process poised on a coin flip")
+}

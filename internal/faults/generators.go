@@ -1,0 +1,126 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Random returns a seeded random plan that crash-stops `crashes` distinct
+// processes, each at a uniformly random operation index below maxStep. One
+// in four crashes is a CrashAmidWrite (degrading to CrashStop when the
+// operation is not a write), so half-completed writes are part of the fuzzed
+// space. The plan is deterministic in (seed, n, crashes, maxStep).
+func Random(seed int64, n, crashes, maxStep int) Plan {
+	if crashes > n {
+		crashes = n
+	}
+	if maxStep < 1 {
+		maxStep = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pids := rng.Perm(n)[:crashes]
+	plan := Plan{
+		Name: fmt.Sprintf("random-%d", seed),
+		Seed: rng.Int63(),
+	}
+	for _, pid := range pids {
+		kind := CrashStop
+		if rng.Intn(4) == 0 {
+			kind = CrashAmidWrite
+		}
+		plan.Events = append(plan.Events, Event{
+			Kind: kind,
+			Pid:  pid,
+			Step: rng.Intn(maxStep),
+		})
+	}
+	return plan
+}
+
+// CoveringTargeted builds a plan that crash-stops up to `crashes` processes
+// exactly when they first become poised to write a register — the covering
+// points at which the paper's adversary (and the Revisionist Simulations
+// one) strikes. It simulates the protocol under a seeded schedule, watching
+// for covering states, and records each victim's per-process operation index
+// so the crash replays deterministically. The returned plan is a targeted
+// heuristic: per-process indices are exact for the generating schedule and
+// remain legal (if approximate) under any other.
+func CoveringTargeted(m model.Machine, inputs []model.Value, seed int64, crashes, maxSteps int) (Plan, error) {
+	n := len(inputs)
+	if n == 0 {
+		return Plan{}, fmt.Errorf("faults: covering-targeted plan needs inputs")
+	}
+	if crashes >= n {
+		crashes = n - 1 // leave at least one survivor
+	}
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plan := Plan{
+		Name: fmt.Sprintf("covering-%d", seed),
+		Seed: rng.Int63(),
+	}
+	c := model.NewConfig(m, inputs)
+	ops := make([]int, n)
+	victim := make(map[int]bool, crashes)
+	for step := 0; step < maxSteps && len(victim) < crashes; step++ {
+		// Strike any process newly poised on a write.
+		for pid := 0; pid < n && len(victim) < crashes; pid++ {
+			if victim[pid] {
+				continue
+			}
+			if _, covers := c.CoveredRegister(pid); covers {
+				victim[pid] = true
+				plan.Events = append(plan.Events, Event{
+					Kind: CrashStop,
+					Pid:  pid,
+					Step: ops[pid],
+				})
+			}
+		}
+		// Advance one non-victim process.
+		var cands []int
+		for pid := 0; pid < n; pid++ {
+			if _, decided := c.Decided(pid); decided || victim[pid] {
+				continue
+			}
+			cands = append(cands, pid)
+		}
+		if len(cands) == 0 {
+			break
+		}
+		pid := cands[rng.Intn(len(cands))]
+		if c.State(pid).Pending().Kind == model.OpCoin {
+			c = c.Step(pid, model.Value(fmt.Sprintf("%d", rng.Intn(2))))
+		} else {
+			c = c.StepDet(pid)
+		}
+		ops[pid]++
+	}
+	if len(plan.Events) == 0 {
+		return plan, fmt.Errorf("faults: no covering point found within %d steps of %s", maxSteps, m.Name())
+	}
+	return plan, nil
+}
+
+// ExhaustiveSmall enumerates every single-crash plan over n processes and
+// operation indices below maxStep: n·maxStep plans, plus the fault-free
+// plan. For small protocols this sweeps the complete single-fault space —
+// the exhaustive counterpart of Random.
+func ExhaustiveSmall(n, maxStep int) []Plan {
+	plans := make([]Plan, 0, n*maxStep+1)
+	plans = append(plans, Plan{Name: "fault-free"})
+	for pid := 0; pid < n; pid++ {
+		for step := 0; step < maxStep; step++ {
+			plans = append(plans, Plan{
+				Name:   fmt.Sprintf("crash-p%d@op%d", pid, step),
+				Seed:   int64(pid)*1_000_003 + int64(step),
+				Events: []Event{{Kind: CrashStop, Pid: pid, Step: step}},
+			})
+		}
+	}
+	return plans
+}

@@ -1,0 +1,262 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// RunOptions bound one model-runtime plan execution.
+type RunOptions struct {
+	// MaxSteps caps the number of global operations. Zero means
+	// DefaultMaxSteps.
+	MaxSteps int
+	// Rand, when non-nil, replaces the seeded source derived from
+	// Plan.Seed. Supplying it lets a caller fold many plan executions
+	// into one deterministic stream.
+	Rand *rand.Rand
+	// Burst caps the scheduler's burst length (consecutive operations
+	// granted to one process). Zero means 3n+3 — long enough that solo
+	// completion windows occur with constant probability per burst, which
+	// is what makes obstruction-free protocols terminate under the
+	// injected schedules.
+	Burst int
+}
+
+// DefaultMaxSteps bounds a model-runtime plan execution when
+// RunOptions.MaxSteps is zero.
+const DefaultMaxSteps = 1 << 16
+
+// Report is the outcome of one model-runtime plan execution.
+type Report struct {
+	// Final is the configuration the run stopped in.
+	Final model.Config
+	// Path is the sequence of full moves applied (coin outcomes
+	// included), so the fault-free portion of the run can be replayed
+	// with model.RunPath. Half-completed writes from CrashAmidWrite are
+	// not representable as moves and appear only in Crashed.
+	Path model.Path
+	// Steps is the number of global operations performed (half-writes
+	// included).
+	Steps int
+	// Crashed maps each process crashed at the end of the run to the
+	// operation it was poised on when it halted (the write itself for
+	// CrashAmidWrite). A crash landing on a model.OpCoin is a
+	// crash-during-coin schedule.
+	Crashed map[int]model.OpKind
+	// Stalls counts stall events that fired.
+	Stalls int
+	// Decided maps each decided process to its value.
+	Decided map[int]model.Value
+}
+
+// Survivors returns the sorted processes that are neither crashed nor
+// decided — the candidates for post-crash solo runs.
+func (r *Report) Survivors() []int {
+	var out []int
+	for pid := 0; pid < r.Final.NumProcesses(); pid++ {
+		if _, crashed := r.Crashed[pid]; crashed {
+			continue
+		}
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// procState is the runner's per-process fault bookkeeping.
+type procState struct {
+	ops          int // operations performed
+	crashed      bool
+	halfWrite    bool // crashed via CrashAmidWrite
+	stalledUntil int  // global step before which the process is ineligible
+	cursor       int  // next per-process event index
+}
+
+// RunModel executes plan against configuration c in the abstract model: a
+// seeded scheduler drives eligible processes in bursts, firing the plan's
+// fault events at their scripted operation indices. The run stops when every
+// process has decided or crashed, or when the step budget is exhausted —
+// whichever comes first — and always returns the configuration it reached
+// (graceful degradation, never a partial-truth panic).
+//
+// Replaying the same plan (same seed) from the same configuration produces
+// the identical Report.
+func RunModel(c model.Config, plan Plan, opts RunOptions) (*Report, error) {
+	n := c.NumProcesses()
+	if err := plan.Validate(n); err != nil {
+		return nil, err
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(plan.Seed))
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	burstMax := opts.Burst
+	if burstMax <= 0 {
+		burstMax = 3*n + 3
+	}
+
+	// Split the script: per-process events keyed by the process's own
+	// operation index, revives keyed by the global index.
+	perPid := make([][]Event, n)
+	var revives []Event
+	for _, e := range plan.Events {
+		if e.Kind == Revive {
+			revives = append(revives, e)
+			continue
+		}
+		perPid[e.Pid] = append(perPid[e.Pid], e)
+	}
+	sort.SliceStable(revives, func(i, j int) bool { return revives[i].Step < revives[j].Step })
+
+	procs := make([]procState, n)
+	rep := &Report{
+		Crashed: make(map[int]model.OpKind),
+		Decided: make(map[int]model.Value),
+	}
+	step := 0
+	reviveCursor := 0
+	processRevives := func() {
+		for reviveCursor < len(revives) && revives[reviveCursor].Step <= step {
+			pid := revives[reviveCursor].Pid
+			if procs[pid].crashed {
+				// Revival after a half-completed write is safe: the
+				// local state is still poised on the write, so the
+				// process simply re-issues it.
+				procs[pid].crashed = false
+				procs[pid].halfWrite = false
+				delete(rep.Crashed, pid)
+			}
+			reviveCursor++
+		}
+	}
+	eligible := func(pid int) bool {
+		if procs[pid].crashed || procs[pid].stalledUntil > step {
+			return false
+		}
+		_, decided := c.Decided(pid)
+		return !decided
+	}
+
+	turn, burst := -1, 0
+	for step < maxSteps {
+		processRevives()
+
+		// Keep the current burst while its process stays eligible;
+		// otherwise pick a fresh process uniformly among the eligible.
+		if burst <= 0 || turn < 0 || !eligible(turn) {
+			var cands []int
+			for pid := 0; pid < n; pid++ {
+				if eligible(pid) {
+					cands = append(cands, pid)
+				}
+			}
+			if len(cands) == 0 {
+				// No one can move now. Fast-forward to the
+				// nearest stall expiry or revive point; if none
+				// exists the run is over (all decided or
+				// crashed for good).
+				next := -1
+				for pid := 0; pid < n; pid++ {
+					if _, decided := c.Decided(pid); decided {
+						continue
+					}
+					if !procs[pid].crashed && procs[pid].stalledUntil > step {
+						if next < 0 || procs[pid].stalledUntil < next {
+							next = procs[pid].stalledUntil
+						}
+					}
+				}
+				if reviveCursor < len(revives) {
+					if r := revives[reviveCursor].Step; next < 0 || r < next {
+						next = r
+					}
+				}
+				if next < 0 || next > maxSteps {
+					break
+				}
+				step = next
+				turn, burst = -1, 0
+				continue
+			}
+			turn = cands[rng.Intn(len(cands))]
+			burst = 1 + rng.Intn(burstMax)
+		}
+
+		pid := turn
+		ps := &procs[pid]
+
+		// Fire the process's scripted events due at its current
+		// operation index, before the operation runs.
+		fired := false
+		for ps.cursor < len(perPid[pid]) && perPid[pid][ps.cursor].Step <= ps.ops {
+			ev := perPid[pid][ps.cursor]
+			ps.cursor++
+			switch ev.Kind {
+			case CrashStop:
+				ps.crashed = true
+				rep.Crashed[pid] = c.State(pid).Pending().Kind
+				fired = true
+			case Stall:
+				ps.stalledUntil = step + ev.Duration
+				rep.Stalls++
+				fired = true
+			case CrashAmidWrite:
+				op := c.State(pid).Pending()
+				if op.Kind == model.OpWrite {
+					// The write lands; the local state does not
+					// advance: the process died mid-operation.
+					states := make([]model.State, n)
+					for i := range states {
+						states[i] = c.State(i)
+					}
+					regs := c.Registers()
+					regs[op.Reg] = op.Arg
+					c = model.RebuildConfig(c, states, regs)
+					ps.ops++
+					step++
+					rep.Steps++
+					ps.halfWrite = true
+				}
+				ps.crashed = true
+				rep.Crashed[pid] = op.Kind
+				fired = true
+			}
+			if ps.crashed {
+				break
+			}
+		}
+		if fired {
+			turn, burst = -1, 0
+			continue
+		}
+
+		// One ordinary operation of pid.
+		mv := model.Move{Pid: pid}
+		if c.State(pid).Pending().Kind == model.OpCoin {
+			mv.Coin = model.Value(fmt.Sprintf("%d", rng.Intn(2)))
+			c = c.Step(pid, mv.Coin)
+		} else {
+			c = c.StepDet(pid)
+		}
+		rep.Path = append(rep.Path, mv)
+		ps.ops++
+		step++
+		rep.Steps++
+		burst--
+	}
+
+	rep.Final = c
+	for pid := 0; pid < n; pid++ {
+		if v, ok := c.Decided(pid); ok {
+			rep.Decided[pid] = v
+		}
+	}
+	return rep, nil
+}

@@ -28,6 +28,15 @@ func ballotLess(k1, p1, k2, p2 int) bool {
 	return p1 < p2
 }
 
+// blockFile is the register surface DiskRace runs against: the raw
+// register.Array in fault-free runs, or a per-process gated view
+// (faults.Handle) when a fault plan is being enforced.
+type blockFile interface {
+	Len() int
+	Read(i int) Block
+	Write(i int, v Block)
+}
+
 // DiskRace is the native twin of consensus.DiskRace: one-disk Disk Paxos on
 // n single-writer atomic registers. The zero value is not usable; call
 // NewDiskRace.
@@ -35,6 +44,14 @@ type DiskRace struct {
 	n      int
 	regs   *register.Array[Block]
 	policy BackoffPolicy
+	// file returns the register view process pid performs its operations
+	// through; the default is the shared array itself.
+	file func(pid int) blockFile
+	// maxAttempts bounds ballot retries per Propose; zero means unbounded
+	// (obstruction freedom plus the contention manager ensure termination
+	// in free-running mode, but gated fault runs bound the loop so a
+	// starvation plan surfaces as an error instead of a hang).
+	maxAttempts int
 	abortCounter
 }
 
@@ -49,11 +66,13 @@ func NewDiskRace(n int) *DiskRace {
 // NewDiskRaceWithBackoff selects the contention manager explicitly (the
 // liveness study of BenchmarkContention).
 func NewDiskRaceWithBackoff(n int, policy BackoffPolicy) *DiskRace {
-	return &DiskRace{
+	d := &DiskRace{
 		n:      n,
 		regs:   register.NewArray[Block](n),
 		policy: policy,
 	}
+	d.file = func(int) blockFile { return d.regs }
+	return d
 }
 
 // Stats exposes the register instrumentation (experiment E2 audits that
@@ -74,17 +93,21 @@ func (d *DiskRace) Propose(pid, input int) (int, error) {
 	if input != 0 && input != 1 {
 		return 0, fmt.Errorf("native: input must be binary, got %d", input)
 	}
+	file := d.file(pid)
 	bo := newBackoff(d.policy, int64(pid)*7919+1)
 	k := 1
 	var ownBal Block // mirrors our register's (Bal, Inp)
 	for attempt := 0; ; attempt++ {
+		if d.maxAttempts > 0 && attempt >= d.maxAttempts {
+			return 0, fmt.Errorf("native: p%d starved out after %d ballot attempts", pid, attempt)
+		}
 		// Phase 1: announce the ballot, then read everything.
-		d.regs.Write(pid, Block{
+		file.Write(pid, Block{
 			MbalK: k, MbalP: pid,
 			BalK: ownBal.BalK, BalP: ownBal.BalP,
 			Inp: ownBal.Inp,
 		})
-		maxK, proposal, ok := d.collect(pid, k, input)
+		maxK, proposal, ok := d.collect(file, pid, k, input)
 		if !ok {
 			k = maxK + 1
 			d.aborts.Add(1)
@@ -93,8 +116,8 @@ func (d *DiskRace) Propose(pid, input int) (int, error) {
 		}
 		// Phase 2: accept the proposal, then read everything again.
 		ownBal = Block{MbalK: k, MbalP: pid, BalK: k, BalP: pid, Inp: proposal}
-		d.regs.Write(pid, ownBal)
-		if maxK, _, ok := d.collect(pid, k, proposal); !ok {
+		file.Write(pid, ownBal)
+		if maxK, _, ok := d.collect(file, pid, k, proposal); !ok {
 			k = maxK + 1
 			d.aborts.Add(1)
 			bo.wait()
@@ -109,12 +132,12 @@ func (d *DiskRace) Propose(pid, input int) (int, error) {
 // ok is false if some register advertises a ballot above (k, pid), in which
 // case maxRound is the highest round seen; otherwise chosenProposal is the
 // value of the largest accepted ballot, or fallback if none.
-func (d *DiskRace) collect(pid, k, fallback int) (int, int, bool) {
+func (d *DiskRace) collect(file blockFile, pid, k, fallback int) (int, int, bool) {
 	maxK := k
 	balK, balP, proposal := 0, -1, fallback
 	abort := false
 	for i := 0; i < d.n; i++ {
-		b := d.regs.Read(i)
+		b := file.Read(i)
 		if b.MbalK > maxK {
 			maxK = b.MbalK
 		}

@@ -1,0 +1,163 @@
+package native
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/register"
+)
+
+// DefaultFaultAttempts bounds ballot retries per process in gated fault
+// runs. Under the controller's bursty schedule a solo window occurs with
+// constant probability per burst, so a correct run decides long before this;
+// hitting the bound means the plan starved the process.
+const DefaultFaultAttempts = 10_000
+
+// NewDiskRaceFaulty returns a DiskRace whose every register operation passes
+// through a faults.Controller enforcing plan: crashes land at exact
+// per-process operation indices, and the whole run is serialised into the
+// plan's seeded schedule, making it deterministically replayable. The
+// contention manager is BackoffNone (under turn gating, sleeping cannot
+// create solo windows — the controller's bursts do) and the retry loop is
+// bounded (bounded backoff in the contention path, so a starvation plan
+// fails loudly instead of hanging).
+func NewDiskRaceFaulty(n int, plan faults.Plan) (*DiskRace, *faults.Controller, error) {
+	ctrl, err := faults.NewController(n, plan)
+	if err != nil {
+		return nil, nil, fmt.Errorf("native: %w", err)
+	}
+	d := NewDiskRaceWithBackoff(n, BackoffNone)
+	d.maxAttempts = DefaultFaultAttempts
+	gated := faults.NewArray(d.regs, ctrl)
+	d.file = func(pid int) blockFile { return gated.Handle(pid) }
+	return d, ctrl, nil
+}
+
+// FaultReport is the outcome of one native fault-injected run.
+type FaultReport struct {
+	N    int
+	Plan faults.Plan
+	// Decided maps each process that completed Propose to its value.
+	Decided map[int]int
+	// Crashed is the set of processes the plan crashed (their goroutines
+	// unwound mid-protocol).
+	Crashed map[int]bool
+	// Errors maps processes whose Propose failed for a non-crash reason
+	// (e.g. the bounded retry loop starved out).
+	Errors map[int]error
+	// Watchdog reports whether the timeout fired and aborted the run.
+	Watchdog bool
+	// Stats is the shared array's instrumentation after the run; under
+	// the deterministic schedule it is identical across replays.
+	Stats register.Stats
+	// Contention carries the abort/decision counters.
+	Contention ContentionStats
+}
+
+// String renders the report in one line.
+func (r *FaultReport) String() string {
+	pids := make([]int, 0, len(r.Decided))
+	for pid := range r.Decided {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	parts := make([]string, len(pids))
+	for i, pid := range pids {
+		parts[i] = fmt.Sprintf("p%d=%d", pid, r.Decided[pid])
+	}
+	status := ""
+	if r.Watchdog {
+		status = " [watchdog]"
+	}
+	return fmt.Sprintf("diskrace n=%d plan=%v: decided {%s}, %d crashed%s",
+		r.N, r.Plan, strings.Join(parts, " "), len(r.Crashed), status)
+}
+
+// Agreement reports whether all decided values are equal.
+func (r *FaultReport) Agreement() bool {
+	first, seen := 0, false
+	for _, v := range r.Decided {
+		if !seen {
+			first, seen = v, true
+		} else if v != first {
+			return false
+		}
+	}
+	return true
+}
+
+// RunDiskRaceFaulty runs native DiskRace on n goroutines under the fault
+// plan, with a watchdog: if the run does not complete within timeout, the
+// controller aborts every gate and the report says so — graceful degradation
+// instead of a hung test. Replaying the same plan yields an identical report
+// (decisions and register statistics included), which is what makes native
+// fault runs regression-testable.
+func RunDiskRaceFaulty(inputs []int, plan faults.Plan, timeout time.Duration) (*FaultReport, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("native: no participants")
+	}
+	d, ctrl, err := NewDiskRaceFaulty(n, plan)
+	if err != nil {
+		return nil, err
+	}
+	report := &FaultReport{
+		N:       n,
+		Plan:    plan,
+		Decided: make(map[int]int, n),
+		Crashed: make(map[int]bool),
+		Errors:  make(map[int]error),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for pid := range inputs {
+		wg.Add(1)
+		go func(pid, input int) {
+			defer wg.Done()
+			defer ctrl.Exit(pid)
+			defer func() {
+				if r := recover(); r != nil {
+					sig, ok := faults.AsCrash(r)
+					if !ok {
+						panic(r) // not ours: propagate
+					}
+					mu.Lock()
+					if sig.Err == faults.ErrAborted {
+						report.Watchdog = true
+					} else {
+						report.Crashed[pid] = true
+					}
+					mu.Unlock()
+				}
+			}()
+			v, err := d.Propose(pid, input)
+			mu.Lock()
+			if err != nil {
+				report.Errors[pid] = err
+			} else {
+				report.Decided[pid] = v
+			}
+			mu.Unlock()
+		}(pid, inputs[pid])
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	watchdog := time.AfterFunc(timeout, ctrl.Abort)
+	<-done
+	watchdog.Stop()
+
+	report.Stats = d.Stats()
+	report.Contention = d.Contention()
+	return report, nil
+}

@@ -1,0 +1,133 @@
+package native
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// TestFaultyReplayDeterministic is the harness's headline property: the same
+// plan (same seed) replayed against live goroutines produces identical
+// decisions AND identical register statistics, even under -race. The
+// controller serialises every register operation into the plan's seeded
+// schedule, so goroutine timing cannot leak into the outcome.
+func TestFaultyReplayDeterministic(t *testing.T) {
+	inputs := []int{0, 1, 1, 0}
+	plan := faults.Plan{
+		Name: "replay",
+		Seed: 99,
+		Events: []faults.Event{
+			{Kind: faults.CrashStop, Pid: 2, Step: 5},
+			{Kind: faults.Stall, Pid: 1, Step: 3, Duration: 20},
+			{Kind: faults.CrashAmidWrite, Pid: 3, Step: 9},
+		},
+	}
+	run := func() *FaultReport {
+		rep, err := RunDiskRaceFaulty(inputs, plan, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Watchdog {
+			t.Fatalf("watchdog fired on a plan that should complete: %v", rep)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if len(a.Decided) == 0 {
+		t.Fatalf("nobody decided: %v", a)
+	}
+	if !a.Agreement() {
+		t.Fatalf("agreement violated: %v", a.Decided)
+	}
+	for pid, v := range a.Decided {
+		if bv, ok := b.Decided[pid]; !ok || bv != v {
+			t.Fatalf("replay diverged on decisions: %v vs %v", a.Decided, b.Decided)
+		}
+	}
+	if len(a.Decided) != len(b.Decided) || len(a.Crashed) != len(b.Crashed) {
+		t.Fatalf("replay diverged on outcomes: %v vs %v", a, b)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("replay diverged on register stats: %+v vs %+v", a.Stats, b.Stats)
+	}
+	t.Logf("replayed identically: %v (stats %+v)", a, a.Stats)
+}
+
+// TestFaultySweepAgreement fuzzes random plans over live goroutines: in
+// every run, all surviving deciders must agree.
+func TestFaultySweepAgreement(t *testing.T) {
+	inputs := []int{1, 0, 1}
+	for seed := int64(0); seed < 25; seed++ {
+		plan := faults.Random(seed, 3, 1+int(seed)%2, 12)
+		rep, err := RunDiskRaceFaulty(inputs, plan, 30*time.Second)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Watchdog {
+			t.Fatalf("seed %d: watchdog fired: %v", seed, rep)
+		}
+		if !rep.Agreement() {
+			t.Fatalf("seed %d: agreement violated: %v", seed, rep)
+		}
+		if len(rep.Decided)+len(rep.Crashed) != 3 {
+			t.Fatalf("seed %d: %d decided + %d crashed != 3 (%v, errors %v)",
+				seed, len(rep.Decided), len(rep.Crashed), rep, rep.Errors)
+		}
+	}
+}
+
+// TestFaultyCrashAllButOne crashes every process but the last at their first
+// operation: the lone survivor must still decide its own input (validity).
+func TestFaultyCrashAllButOne(t *testing.T) {
+	inputs := []int{1, 1, 0}
+	plan := faults.Plan{Name: "all-but-one", Seed: 4, Events: []faults.Event{
+		{Kind: faults.CrashStop, Pid: 0, Step: 0},
+		{Kind: faults.CrashStop, Pid: 1, Step: 0},
+	}}
+	rep, err := RunDiskRaceFaulty(inputs, plan, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Crashed[0] || !rep.Crashed[1] {
+		t.Fatalf("crashes did not land: %v", rep)
+	}
+	if v, ok := rep.Decided[2]; !ok || v != 0 {
+		t.Fatalf("survivor p2 should decide its own input 0, got %v (decided=%v)", v, rep.Decided)
+	}
+}
+
+// TestFaultyRevive crashes p0 and revives it later: p0 freezes in place,
+// resumes, and every process decides the same value.
+func TestFaultyRevive(t *testing.T) {
+	inputs := []int{0, 1}
+	plan := faults.Plan{Name: "revive", Seed: 11, Events: []faults.Event{
+		{Kind: faults.CrashStop, Pid: 0, Step: 2},
+		{Kind: faults.Revive, Pid: 0, Step: 30},
+	}}
+	rep, err := RunDiskRaceFaulty(inputs, plan, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Crashed) != 0 {
+		t.Fatalf("revived process still recorded as crashed: %v", rep)
+	}
+	if len(rep.Decided) != 2 || !rep.Agreement() {
+		t.Fatalf("both processes should decide and agree after the revive: %v (errors %v)", rep, rep.Errors)
+	}
+}
+
+// TestFaultyWatchdog forces the abort path with an immediate timeout: the
+// run must come back (no hang) with the watchdog flagged rather than decide.
+func TestFaultyWatchdog(t *testing.T) {
+	inputs := []int{0, 1, 1}
+	rep, err := RunDiskRaceFaulty(inputs, faults.Plan{Name: "watchdog", Seed: 1}, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Watchdog && len(rep.Decided) != len(inputs) {
+		// The race between the 1ns timer and the run is legitimate in
+		// either direction, but an aborted run must say so.
+		t.Fatalf("aborted run not flagged: %v (errors %v)", rep, rep.Errors)
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 func witness(t *testing.T) (*adversary.Theorem1Witness, model.Config) {
 	t.Helper()
 	engine := adversary.New(valency.New(explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey}))
-	w, err := engine.Theorem1(consensus.DiskRace{}, 3)
+	w, err := engine.Theorem1(context.Background(), consensus.DiskRace{}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package valency
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/explore"
@@ -40,14 +41,14 @@ func (r ProfileReport) String() string {
 
 // Profile explores the p-only reachable space of c and classifies every
 // configuration, verifying the valency laws along the way.
-func (o *Oracle) Profile(name string, c model.Config, p []int) (ProfileReport, error) {
+func (o *Oracle) Profile(ctx context.Context, name string, c model.Config, p []int) (ProfileReport, error) {
 	report := ProfileReport{Protocol: name}
 	type entry struct {
 		cfg model.Config
 		id  int
 	}
 	var kept []entry
-	res, err := explore.Reach(c, p, o.opts, func(v explore.Visit) bool {
+	res, err := explore.Reach(ctx, c, p, o.opts, func(v explore.Visit) bool {
 		kept = append(kept, entry{cfg: v.Config, id: v.ID})
 		return true
 	})
@@ -57,7 +58,7 @@ func (o *Oracle) Profile(name string, c model.Config, p []int) (ProfileReport, e
 	_ = res
 	verdicts := make(map[int]*Verdict, len(kept))
 	for _, e := range kept {
-		v, err := o.Decidable(e.cfg, p)
+		v, err := o.Decidable(ctx, e.cfg, p)
 		if err != nil {
 			return report, fmt.Errorf("valency profile: %w", err)
 		}
@@ -84,7 +85,7 @@ func (o *Oracle) Profile(name string, c model.Config, p []int) (ProfileReport, e
 		// univalent for the same value.
 		if val, ok := v.Univalent(); ok {
 			for _, mv := range explore.Moves(e.cfg, p) {
-				succ, err := o.Decidable(explore.Apply(e.cfg, mv), p)
+				succ, err := o.Decidable(ctx, explore.Apply(e.cfg, mv), p)
 				if err != nil {
 					return report, fmt.Errorf("valency profile: %w", err)
 				}

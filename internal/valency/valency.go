@@ -13,6 +13,7 @@
 package valency
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -114,7 +115,7 @@ func (o *Oracle) queryKey(c model.Config, p []int) string {
 // Decidable computes the set of values the process set p can decide from c
 // (Definition 1), with witness executions. p must be non-empty and sorted
 // (use model.PidList / model.Without to build process sets).
-func (o *Oracle) Decidable(c model.Config, p []int) (*Verdict, error) {
+func (o *Oracle) Decidable(ctx context.Context, c model.Config, p []int) (*Verdict, error) {
 	if len(p) == 0 {
 		return nil, fmt.Errorf("valency: empty process set")
 	}
@@ -129,7 +130,7 @@ func (o *Oracle) Decidable(c model.Config, p []int) (*Verdict, error) {
 		Witness:   make(map[model.Value]model.Path),
 	}
 	witnessIDs := make(map[model.Value]int)
-	res, err := explore.Reach(c, p, o.opts, func(v explore.Visit) bool {
+	res, err := explore.Reach(ctx, c, p, o.opts, func(v explore.Visit) bool {
 		for val := range v.Config.DecidedValues() {
 			if !verdict.Decidable[val] {
 				verdict.Decidable[val] = true
@@ -159,8 +160,8 @@ func (o *Oracle) Decidable(c model.Config, p []int) (*Verdict, error) {
 }
 
 // Bivalent reports whether p is bivalent from c (Definition 1).
-func (o *Oracle) Bivalent(c model.Config, p []int) (bool, error) {
-	v, err := o.Decidable(c, p)
+func (o *Oracle) Bivalent(ctx context.Context, c model.Config, p []int) (bool, error) {
+	v, err := o.Decidable(ctx, c, p)
 	if err != nil {
 		return false, err
 	}
@@ -168,8 +169,8 @@ func (o *Oracle) Bivalent(c model.Config, p []int) (bool, error) {
 }
 
 // CanDecide reports whether p can decide val from c.
-func (o *Oracle) CanDecide(c model.Config, p []int, val model.Value) (bool, error) {
-	v, err := o.Decidable(c, p)
+func (o *Oracle) CanDecide(ctx context.Context, c model.Config, p []int, val model.Value) (bool, error) {
+	v, err := o.Decidable(ctx, c, p)
 	if err != nil {
 		return false, err
 	}
@@ -177,8 +178,8 @@ func (o *Oracle) CanDecide(c model.Config, p []int, val model.Value) (bool, erro
 }
 
 // Univalent reports whether p is v-univalent from c for some v, returning v.
-func (o *Oracle) Univalent(c model.Config, p []int) (model.Value, bool, error) {
-	v, err := o.Decidable(c, p)
+func (o *Oracle) Univalent(ctx context.Context, c model.Config, p []int) (model.Value, bool, error) {
+	v, err := o.Decidable(ctx, c, p)
 	if err != nil {
 		return model.Bottom, false, err
 	}
@@ -191,7 +192,7 @@ func (o *Oracle) Univalent(c model.Config, p []int) (model.Value, bool, error) {
 // every pid is exactly the paper's "nondeterministic solo terminating"
 // hypothesis; an error therefore means the protocol under test is not NST
 // within the oracle's bounds.
-func (o *Oracle) SoloDeciding(c model.Config, pid int) (model.Path, model.Value, error) {
+func (o *Oracle) SoloDeciding(ctx context.Context, c model.Config, pid int) (model.Path, model.Value, error) {
 	if v, ok := c.Decided(pid); ok {
 		return nil, v, nil
 	}
@@ -199,7 +200,7 @@ func (o *Oracle) SoloDeciding(c model.Config, pid int) (model.Path, model.Value,
 		decided model.Value
 		foundID = -1
 	)
-	res, err := explore.Reach(c, []int{pid}, o.opts, func(v explore.Visit) bool {
+	res, err := explore.Reach(ctx, c, []int{pid}, o.opts, func(v explore.Visit) bool {
 		if val, ok := v.Config.Decided(pid); ok {
 			decided = val
 			foundID = v.ID

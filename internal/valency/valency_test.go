@@ -1,6 +1,7 @@
 package valency
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestDefinition1OnFlood(t *testing.T) {
 	o := New(explore.Options{})
 	mixed := floodConfig("0", "1")
 
-	v, err := o.Decidable(mixed, []int{0, 1})
+	v, err := o.Decidable(context.Background(), mixed, []int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestDefinition1OnFlood(t *testing.T) {
 		t.Fatalf("pair not bivalent from mixed inputs: %v", v.Decidable)
 	}
 	for pid, want := range map[int]model.Value{0: V0, 1: V1} {
-		v, err := o.Decidable(mixed, []int{pid})
+		v, err := o.Decidable(context.Background(), mixed, []int{pid})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func TestDefinition1OnFlood(t *testing.T) {
 	}
 
 	same := floodConfig("1", "1")
-	v, err = o.Decidable(same, []int{0, 1})
+	v, err = o.Decidable(context.Background(), same, []int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestProposition1Properties(t *testing.T) {
 		}
 		verdicts := make(map[int]*Verdict, 3)
 		for i, set := range sets {
-			v, err := o.Decidable(c, set)
+			v, err := o.Decidable(context.Background(), c, set)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -104,7 +105,7 @@ func TestProposition1Properties(t *testing.T) {
 func TestWitnessesReplay(t *testing.T) {
 	o := New(explore.Options{})
 	c := floodConfig("0", "1")
-	v, err := o.Decidable(c, []int{0, 1})
+	v, err := o.Decidable(context.Background(), c, []int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +121,10 @@ func TestWitnessesReplay(t *testing.T) {
 func TestMemoisation(t *testing.T) {
 	o := New(explore.Options{})
 	c := floodConfig("0", "1")
-	if _, err := o.Decidable(c, []int{0, 1}); err != nil {
+	if _, err := o.Decidable(context.Background(), c, []int{0, 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.Decidable(c, []int{0, 1}); err != nil {
+	if _, err := o.Decidable(context.Background(), c, []int{0, 1}); err != nil {
 		t.Fatal(err)
 	}
 	s := o.Stats()
@@ -136,7 +137,7 @@ func TestMemoisation(t *testing.T) {
 func TestSoloDeciding(t *testing.T) {
 	o := New(explore.Options{})
 	c := floodConfig("0", "1")
-	path, val, err := o.SoloDeciding(c, 1)
+	path, val, err := o.SoloDeciding(context.Background(), c, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestSoloDeciding(t *testing.T) {
 		t.Fatal("solo witness path does not decide")
 	}
 	// Already-decided processes return immediately.
-	if _, val, err := o.SoloDeciding(end, 1); err != nil || val != V1 {
+	if _, val, err := o.SoloDeciding(context.Background(), end, 1); err != nil || val != V1 {
 		t.Fatalf("decided process: (%s, %v)", string(val), err)
 	}
 }
@@ -156,7 +157,7 @@ func TestSoloDeciding(t *testing.T) {
 // TestEmptySetRejected covers the error path.
 func TestEmptySetRejected(t *testing.T) {
 	o := New(explore.Options{})
-	if _, err := o.Decidable(floodConfig("0", "1"), nil); err == nil {
+	if _, err := o.Decidable(context.Background(), floodConfig("0", "1"), nil); err == nil {
 		t.Fatal("expected error for empty process set")
 	}
 }
@@ -166,7 +167,7 @@ func TestEmptySetRejected(t *testing.T) {
 func TestProfileFloodN2(t *testing.T) {
 	o := New(explore.Options{})
 	c := floodConfig("0", "1")
-	report, err := o.Profile("flood(0,1)", c, []int{0, 1})
+	report, err := o.Profile(context.Background(), "flood(0,1)", c, []int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestProfileFloodN2(t *testing.T) {
 	t.Logf("%v", report)
 
 	// Unanimous inputs: the whole landscape must be univalent.
-	same, err := o.Profile("flood(1,1)", floodConfig("1", "1"), []int{0, 1})
+	same, err := o.Profile(context.Background(), "flood(1,1)", floodConfig("1", "1"), []int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
