@@ -28,7 +28,10 @@ import (
 )
 
 func diskOpts() explore.Options {
-	return explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey}
+	return explore.Options{
+		KeyFn: consensus.DiskRace{}.CanonicalKey,
+		KeyTo: consensus.DiskRace{}.CanonicalKeyTo,
+	}
 }
 
 // BenchmarkTheorem1 is experiment E1: the covering/valency adversary forces

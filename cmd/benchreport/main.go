@@ -1,0 +1,240 @@
+// Command benchreport runs a fixed exploration benchmark suite and emits a
+// machine-readable perf trajectory (BENCH_explore.json): configurations per
+// second, allocations per configuration and peak frontier size for the
+// sequential and parallel engines, plus end-to-end Theorem 1 wall-clock
+// rows. CI uploads the file as an artifact on every run so regressions in
+// the exploration hot path show up as a broken trend, not an anecdote.
+//
+// Usage:
+//
+//	benchreport [-out BENCH_explore.json] [-check]
+//
+// With -check the command exits non-zero if the parallel engine's
+// configs/sec on the DiskRace n=3 reference workload falls below half of
+// the sequential engine's — a floor, not a target: on multi-core runners
+// the expected ratio is well above 1, and on a single-core machine the
+// parallel configuration degrades to the sequential inline path and the
+// ratio sits near 1.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/consensus"
+	"repro/internal/explore"
+	"repro/internal/model"
+	"repro/internal/valency"
+)
+
+// Run is one benchmark row.
+type Run struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Configs       int     `json:"configs"`
+	Steps         int     `json:"steps"`
+	PeakFrontier  int     `json:"peak_frontier"`
+	Capped        bool    `json:"capped"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	ConfigsPerSec float64 `json:"configs_per_sec"`
+	AllocsPerCfg  float64 `json:"allocs_per_config"`
+	BytesPerCfg   float64 `json:"bytes_per_config"`
+}
+
+// TheoremRun is one end-to-end Theorem 1 row (experiment E15).
+type TheoremRun struct {
+	Protocol      string  `json:"protocol"`
+	N             int     `json:"n"`
+	Completed     bool    `json:"completed"`
+	Registers     int     `json:"registers"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	OracleConfigs int     `json:"oracle_configs"`
+	ConfigsPerSec float64 `json:"configs_per_sec"`
+	Err           string  `json:"error,omitempty"`
+}
+
+// Report is the whole BENCH_explore.json document.
+type Report struct {
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Runs       []Run        `json:"runs"`
+	Theorem1   []TheoremRun `json:"theorem1"`
+	// SpeedupDiskRaceN3 is parallel/sequential configs-per-second on the
+	// DiskRace n=3 reference workload — the ratio -check gates on.
+	SpeedupDiskRaceN3 float64 `json:"speedup_diskrace_n3"`
+}
+
+func diskOpts() explore.Options {
+	return explore.Options{
+		KeyFn: consensus.DiskRace{}.CanonicalKey,
+		KeyTo: consensus.DiskRace{}.CanonicalKeyTo,
+	}
+}
+
+func measureReach(name string, c model.Config, pids []int, opts explore.Options) (Run, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := explore.Reach(context.Background(), c, pids, opts, nil)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil && !res.Capped {
+		return Run{}, fmt.Errorf("%s: %w", name, err)
+	}
+	r := Run{
+		Name:         name,
+		Workers:      opts.Workers,
+		Configs:      res.Count,
+		Steps:        res.Steps,
+		PeakFrontier: res.PeakFrontier,
+		Capped:       res.Capped,
+		ElapsedSec:   elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		r.ConfigsPerSec = float64(res.Count) / elapsed.Seconds()
+	}
+	if res.Count > 0 {
+		r.AllocsPerCfg = float64(after.Mallocs-before.Mallocs) / float64(res.Count)
+		r.BytesPerCfg = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Count)
+	}
+	return r, nil
+}
+
+func measureTheorem1(protocol model.Machine, opts explore.Options, n int, budget time.Duration) TheoremRun {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	engine := adversary.New(valency.New(opts))
+	start := time.Now()
+	w, err := engine.Theorem1(ctx, protocol, n)
+	elapsed := time.Since(start)
+	tr := TheoremRun{
+		Protocol:   protocol.Name(),
+		N:          n,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	stats := engine.Oracle().Stats()
+	tr.OracleConfigs = stats.Configs
+	if elapsed > 0 {
+		tr.ConfigsPerSec = float64(stats.Configs) / elapsed.Seconds()
+	}
+	if err != nil {
+		tr.Err = err.Error()
+		return tr
+	}
+	tr.Completed = true
+	tr.Registers = w.Registers
+	return tr
+}
+
+func run() (int, error) {
+	out := flag.String("out", "BENCH_explore.json", "output path for the JSON report")
+	check := flag.Bool("check", false, "exit non-zero if parallel Reach is >2x slower than sequential on DiskRace n=3")
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// Reference workload: DiskRace n=3, all processes, capped so the run
+	// is a fixed amount of work (the full |P|=3 quotient is millions of
+	// configurations; the cap keeps the suite in seconds).
+	diskCfg := model.NewConfig(consensus.DiskRace{}, []model.Value{"0", "1", "1"})
+	diskPids := []int{0, 1, 2}
+	const diskCap = 200_000
+
+	var seqRate, parRate float64
+	for _, workers := range []int{1, 0} {
+		opts := diskOpts()
+		opts.MaxConfigs = diskCap
+		opts.Workers = workers
+		name := "diskrace_n3_seq"
+		if workers == 0 {
+			name = "diskrace_n3_par"
+		}
+		r, err := measureReach(name, diskCfg, diskPids, opts)
+		if err != nil {
+			return 1, err
+		}
+		rep.Runs = append(rep.Runs, r)
+		if workers == 1 {
+			seqRate = r.ConfigsPerSec
+		} else {
+			parRate = r.ConfigsPerSec
+		}
+	}
+	if seqRate > 0 {
+		rep.SpeedupDiskRaceN3 = parRate / seqRate
+	}
+
+	// Exhaustive small workload: Flood n=3 (finite space, no cap).
+	floodCfg := model.NewConfig(consensus.Flood{}, []model.Value{"0", "1", "1"})
+	for _, workers := range []int{1, 0} {
+		name := "flood_n3_seq"
+		if workers == 0 {
+			name = "flood_n3_par"
+		}
+		r, err := measureReach(name, floodCfg, []int{0, 1, 2}, explore.Options{Workers: workers})
+		if err != nil {
+			return 1, err
+		}
+		rep.Runs = append(rep.Runs, r)
+	}
+
+	// End-to-end Theorem 1 rows (experiment E15): n=3 as the historical
+	// reference point, n=4 as the run this engine exists to make feasible.
+	rep.Theorem1 = append(rep.Theorem1,
+		measureTheorem1(consensus.DiskRace{}, diskOpts(), 3, 5*time.Minute),
+		measureTheorem1(consensus.DiskRace{}, diskOpts(), 4, 10*time.Minute),
+	)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return 1, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return 1, err
+	}
+	fmt.Printf("wrote %s: diskrace n=3 %0.f configs/s sequential, %0.f configs/s parallel (speedup %.2fx, %d cpu)\n",
+		*out, seqRate, parRate, rep.SpeedupDiskRaceN3, rep.NumCPU)
+	for _, tr := range rep.Theorem1 {
+		status := "completed"
+		if !tr.Completed {
+			status = "INCOMPLETE: " + tr.Err
+		}
+		fmt.Printf("theorem1 %s n=%d: %.2fs, %d oracle configs, %s\n",
+			tr.Protocol, tr.N, tr.ElapsedSec, tr.OracleConfigs, status)
+	}
+
+	if *check {
+		if !rep.Theorem1[len(rep.Theorem1)-1].Completed {
+			return 2, fmt.Errorf("theorem 1 n=4 did not complete within budget")
+		}
+		if rep.SpeedupDiskRaceN3 < 0.5 {
+			return 2, fmt.Errorf("parallel engine is %.2fx sequential (< 0.5x floor) on diskrace n=3", rep.SpeedupDiskRaceN3)
+		}
+	}
+	return 0, nil
+}
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(code)
+	}
+}

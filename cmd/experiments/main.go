@@ -52,8 +52,8 @@ func run(heavy bool) error {
 	}
 	attacks := []attack{
 		{consensus.Flood{}, explore.Options{}, 2},
-		{consensus.DiskRace{}, explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey}, 2},
-		{consensus.DiskRace{}, explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey}, 3},
+		{consensus.DiskRace{}, explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey, KeyTo: consensus.DiskRace{}.CanonicalKeyTo}, 2},
+		{consensus.DiskRace{}, explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey, KeyTo: consensus.DiskRace{}.CanonicalKeyTo}, 3},
 	}
 	for _, a := range attacks {
 		engine := adversary.New(valency.New(a.opts))
@@ -100,7 +100,7 @@ func run(heavy bool) error {
 	props := []attack{
 		{consensus.Flood{}, explore.Options{}, 2},
 		{consensus.Flood{}, explore.Options{}, 3},
-		{consensus.DiskRace{}, explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey}, 3},
+		{consensus.DiskRace{}, explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey, KeyTo: consensus.DiskRace{}.CanonicalKeyTo}, 3},
 	}
 	for _, a := range props {
 		oracle := valency.New(a.opts)

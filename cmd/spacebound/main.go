@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spacebound [-protocol diskrace] [-n 3] [-max-configs 0] [-timeout 0] [-figures] [-transcript]
+//	spacebound [-protocol diskrace] [-n 3] [-max-configs 0] [-workers 0] [-timeout 0] [-figures] [-transcript]
 //
 // Exit codes: 0 on a complete witness, 3 when a -timeout or -max-configs
 // budget interrupted the construction (the partial progress is printed to
@@ -43,6 +43,7 @@ func run() error {
 	protocol := flag.String("protocol", core.ProtocolDiskRace, "protocol to attack (diskrace, flood)")
 	n := flag.Int("n", 3, "number of processes")
 	maxConfigs := flag.Int("max-configs", 0, "cap per valency query (0 = default)")
+	workers := flag.Int("workers", 0, "exploration workers per valency query (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole construction (0 = none)")
 	figures := flag.Bool("figures", false, "emit the witness as Graphviz DOT (paper Figure 4 style)")
 	transcript := flag.Bool("transcript", false, "print the full step-by-step execution")
@@ -55,6 +56,7 @@ func run() error {
 	if *maxConfigs > 0 {
 		opts.MaxConfigs = *maxConfigs
 	}
+	opts.Workers = *workers
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

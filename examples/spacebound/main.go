@@ -20,7 +20,7 @@ import (
 
 func main() {
 	machine := consensus.DiskRace{}
-	oracle := valency.New(explore.Options{KeyFn: machine.CanonicalKey})
+	oracle := valency.New(explore.Options{KeyFn: machine.CanonicalKey, KeyTo: machine.CanonicalKeyTo})
 	engine := adversary.New(oracle)
 	const n = 3
 

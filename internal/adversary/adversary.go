@@ -44,14 +44,25 @@ type Engine struct {
 	// bounds it by the number of register subsets, and the cap turns a
 	// violated invariant into an error instead of a hang.
 	maxRounds int
+	// probeBudget bounds each of Lemma 1's bivalence probes (see
+	// DefaultProbeBudget).
+	probeBudget int
 }
 
 // DefaultMaxRounds caps the covering sequence per Lemma 4 invocation.
 const DefaultMaxRounds = 4096
 
+// DefaultProbeBudget is the per-candidate configuration budget for Lemma 1's
+// bivalence probes. It is sized to be negligible next to an exhaustive
+// |P|-1 search (millions to hundreds of millions of configurations for
+// DiskRace at n=4) while still letting solo-seeded certificates and small
+// exhausted subspaces resolve; a failed probe costs at most this many
+// configurations before Lemma 1 falls back to the exact path.
+const DefaultProbeBudget = 1 << 16
+
 // New returns an engine backed by the given valency oracle.
 func New(oracle *valency.Oracle) *Engine {
-	return &Engine{oracle: oracle, maxRounds: DefaultMaxRounds}
+	return &Engine{oracle: oracle, maxRounds: DefaultMaxRounds, probeBudget: DefaultProbeBudget}
 }
 
 // Oracle exposes the engine's valency oracle (for reporting query counts).
@@ -101,6 +112,28 @@ func (e *Engine) Lemma1(ctx context.Context, c model.Config, p []int) (model.Pat
 	if len(p) < 3 {
 		return nil, 0, fmt.Errorf("lemma 1: need |P| >= 3, got %d", len(p))
 	}
+
+	// Fast path: the lemma only asks for SOME z ∈ p with p-{z} bivalent
+	// from cφ, and bivalence has a short positive certificate (two
+	// deciding executions) while refuting it needs the whole p-{z} space
+	// exhausted. So before committing to any exhaustive query, probe each
+	// candidate under a budget: a hit yields z with φ empty, exactly the
+	// lemma's conclusion. For DiskRace at n=4 this is the difference
+	// between two solo runs and a >10^8-configuration exhaustion — the
+	// probes are what let Theorem 1 finish at n=4 at all. A miss costs at
+	// most probeBudget configurations per candidate before the exact
+	// critical-step construction below takes over.
+	for _, z := range p {
+		biv, err := e.oracle.ProbeBivalent(ctx, c, model.Without(p, z), e.probeBudget)
+		if err != nil {
+			return nil, 0, fmt.Errorf("lemma 1 probe: %w", err)
+		}
+		if biv {
+			e.prog.note("lemma 1 (|P|=%d): probe peeled p%d with empty φ", len(p), z)
+			return model.Path{}, z, nil
+		}
+	}
+
 	z1, z2 := p[0], p[1]
 	q1 := model.Without(p, z1)
 	q2 := model.Without(p, z2)

@@ -15,7 +15,10 @@ func newEngine(opts explore.Options) *Engine {
 }
 
 func diskEngine() *Engine {
-	return newEngine(explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey})
+	return newEngine(explore.Options{
+		KeyFn: consensus.DiskRace{}.CanonicalKey,
+		KeyTo: consensus.DiskRace{}.CanonicalKeyTo,
+	})
 }
 
 func allPids(n int) []int {

@@ -11,19 +11,22 @@ import (
 	"repro/internal/explore"
 )
 
-// TestTheorem1DeadlinePartial runs the n=4 DiskRace adversary — whose full
-// construction needs hours of CPU (see TestTheorem1DiskRaceN4) — under a
-// deadline of a couple of seconds. The run must degrade gracefully: no
-// panic, no bare error, but a *Partial naming the lemma stages that
-// completed (Proposition 2's cheap solo-univalence queries finish well
-// inside the deadline) and the registers forced so far.
+// TestTheorem1DeadlinePartial runs the n=5 DiskRace adversary — which still
+// outruns any interactive budget even with Lemma 1's bivalence probing,
+// because its inner lemmas must exhaust |P|≤3 subspaces over five registers
+// (n=4, this test's old subject, now completes in about a second; see
+// TestTheorem1DiskRaceN4) — under a deadline of a couple of seconds. The
+// run must degrade gracefully: no panic, no bare error, but a *Partial
+// naming the lemma stages that completed (Proposition 2's cheap
+// solo-univalence queries finish well inside the deadline) and the
+// registers forced so far.
 func TestTheorem1DeadlinePartial(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	e := diskEngine()
-	w, err := e.Theorem1(ctx, consensus.DiskRace{}, 4)
+	w, err := e.Theorem1(ctx, consensus.DiskRace{}, 5)
 	if w != nil {
-		t.Fatalf("n=4 run finished within the deadline?! %v", w)
+		t.Fatalf("n=5 run finished within the deadline?! %v", w)
 	}
 	if err == nil {
 		t.Fatal("expected a Partial error from the deadline-cancelled run")
@@ -35,7 +38,7 @@ func TestTheorem1DeadlinePartial(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Partial should unwrap to context.DeadlineExceeded, got %v", err)
 	}
-	if p.Protocol != "diskrace" || p.N != 4 {
+	if p.Protocol != "diskrace" || p.N != 5 {
 		t.Fatalf("Partial misidentifies the run: %+v", p)
 	}
 	if len(p.Stages) == 0 {
@@ -44,8 +47,8 @@ func TestTheorem1DeadlinePartial(t *testing.T) {
 	if !strings.Contains(p.Stages[0], "proposition 2") {
 		t.Fatalf("first completed stage should be a Proposition 2 univalence check, got %q", p.Stages[0])
 	}
-	if p.RegistersForced < 0 || p.RegistersForced >= 3 {
-		t.Fatalf("registers forced so far should be in [0,3) for an interrupted n=4 run, got %d", p.RegistersForced)
+	if p.RegistersForced < 0 || p.RegistersForced >= 4 {
+		t.Fatalf("registers forced so far should be in [0,4) for an interrupted n=5 run, got %d", p.RegistersForced)
 	}
 	if p.OracleStats.Queries == 0 {
 		t.Fatalf("Partial should carry the oracle's work counters: %+v", p.OracleStats)

@@ -1,9 +1,11 @@
 package consensus
 
 import (
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/model"
 )
@@ -72,6 +74,78 @@ func (DiskRace) CanonicalKey(c model.Config) string {
 	return b.String()
 }
 
+// canonScratch is the reusable working set of one CanonicalKeyTo call. The
+// remap's from/to slices alias rounds/to, so everything is reclaimed
+// together when the scratch returns to the pool.
+type canonScratch struct {
+	rounds []int
+	to     []int
+	states []diskState
+	blocks []diskBlock
+}
+
+var canonPool = sync.Pool{New: func() any { return new(canonScratch) }}
+
+// CanonicalKeyTo streams exactly the bytes CanonicalKey returns into w
+// without materialising the string: scratch comes from a pool, rounds are
+// renumbered into a reused buffer, and register blocks are re-encoded
+// field-by-field. CanonicalKey stays the reference implementation;
+// TestCanonicalKeyToMatchesCanonicalKey holds the two together. Safe for
+// concurrent use (each call takes its own pooled scratch), as
+// explore.Options.KeyTo requires.
+func (DiskRace) CanonicalKeyTo(w model.KeyWriter, c model.Config) {
+	n := c.NumProcesses()
+	sc := canonPool.Get().(*canonScratch)
+	defer canonPool.Put(sc)
+	sc.rounds = sc.rounds[:0]
+	sc.states = sc.states[:0]
+	sc.blocks = sc.blocks[:0]
+	for pid := 0; pid < n; pid++ {
+		s, ok := c.State(pid).(diskState)
+		if !ok {
+			// Not a DiskRace configuration; fall back to exact keys,
+			// mirroring CanonicalKey's c.Key() fallback.
+			c.KeyTo(w)
+			return
+		}
+		sc.states = append(sc.states, s)
+		sc.rounds = append(sc.rounds, s.ballot.K, s.ownBal.K, s.maxK, s.maxBal.K)
+	}
+	for r := 0; r < c.NumRegisters(); r++ {
+		block := decodeBlock(c.Register(r))
+		sc.blocks = append(sc.blocks, block)
+		sc.rounds = append(sc.rounds, block.Mbal.K, block.Bal.K)
+	}
+	remap := buildRoundRemapInto(sc.rounds, sc.to)
+	sc.to = remap.to
+
+	for i := range sc.states {
+		sc.states[i].writeCanonicalKeyTo(w, remap)
+		_ = w.WriteByte('\x1f')
+	}
+	_ = w.WriteByte('\x1e')
+	for i := range sc.blocks {
+		block := sc.blocks[i]
+		block.Mbal.K = remap.apply(block.Mbal.K)
+		block.Bal.K = remap.apply(block.Bal.K)
+		writeBlockTo(w, block)
+		_ = w.WriteByte('\x1f')
+	}
+}
+
+// writeBlockTo streams diskBlock.encode without building the string.
+func writeBlockTo(w model.KeyWriter, b diskBlock) {
+	w.WriteInt(b.Mbal.K)
+	_ = w.WriteByte('.')
+	w.WriteInt(b.Mbal.Pid)
+	_ = w.WriteByte(';')
+	w.WriteInt(b.Bal.K)
+	_ = w.WriteByte('.')
+	w.WriteInt(b.Bal.Pid)
+	_ = w.WriteByte(';')
+	_, _ = w.WriteString(string(b.Inp))
+}
+
 // roundRemap is an order-preserving, gap-capped renumbering of rounds,
 // represented as two parallel sorted slices (binary-search application).
 type roundRemap struct {
@@ -90,7 +164,14 @@ func (m roundRemap) apply(k int) int {
 // buildRoundRemap computes the renumbering for the given (unsorted,
 // duplicate-bearing) list of rounds.
 func buildRoundRemap(rounds []int) roundRemap {
-	sort.Ints(rounds)
+	return buildRoundRemapInto(rounds, nil)
+}
+
+// buildRoundRemapInto is buildRoundRemap appending the renumbered rounds
+// into to's backing array (the hot path reuses it across calls). rounds is
+// sorted and deduplicated in place.
+func buildRoundRemapInto(rounds, to []int) roundRemap {
+	slices.Sort(rounds)
 	from := rounds[:0]
 	prev := -1
 	for _, k := range rounds {
@@ -102,9 +183,9 @@ func buildRoundRemap(rounds []int) roundRemap {
 	if len(from) > 0 && from[0] == 0 {
 		from = from[1:]
 	}
-	to := make([]int, len(from))
+	to = to[:0]
 	prevK, mapped := 0, 0
-	for i, k := range from {
+	for _, k := range from {
 		gap := k - prevK
 		switch {
 		case prevK == 0:
@@ -118,7 +199,7 @@ func buildRoundRemap(rounds []int) roundRemap {
 			gap = 2
 		}
 		mapped += gap
-		to[i] = mapped
+		to = append(to, mapped)
 		prevK = k
 	}
 	return roundRemap{from: from, to: to}
@@ -157,4 +238,38 @@ func (s diskState) writeCanonicalKey(b *strings.Builder, remap roundRemap) {
 	writeBallot(s.maxBal)
 	b.WriteByte('|')
 	b.WriteString(string(s.balInp))
+}
+
+// writeCanonicalKeyTo streams exactly the bytes writeCanonicalKey builds.
+func (s diskState) writeCanonicalKeyTo(w model.KeyWriter, remap roundRemap) {
+	writeBallot := func(bal Ballot) {
+		w.WriteInt(remap.apply(bal.K))
+		_ = w.WriteByte('.')
+		w.WriteInt(bal.Pid)
+	}
+	_ = w.WriteByte('D')
+	w.WriteInt(s.pid)
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(string(s.input))
+	_ = w.WriteByte('|')
+	writeBallot(s.ballot)
+	_ = w.WriteByte('|')
+	w.WriteInt(int(s.phase))
+	_ = w.WriteByte('|')
+	w.WriteInt(s.idx)
+	_ = w.WriteByte('|')
+	writeBallot(s.ownBal)
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(string(s.ownInp))
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(string(s.proposal))
+	_ = w.WriteByte('|')
+	w.WriteInt(remap.apply(s.maxK))
+	if s.aborting {
+		_ = w.WriteByte('!')
+	}
+	_ = w.WriteByte('|')
+	writeBallot(s.maxBal)
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(string(s.balInp))
 }

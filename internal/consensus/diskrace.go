@@ -106,11 +106,16 @@ func decodeBlock(v model.Value) diskBlock {
 	if v == model.Bottom {
 		return diskBlock{}
 	}
-	parts := strings.SplitN(string(v), ";", 3)
+	// Split by hand instead of strings.SplitN: decoding runs once per
+	// register per canonicalised configuration, and the slice header
+	// allocation was measurable in exhaustive-search profiles.
+	s := string(v)
+	i := strings.IndexByte(s, ';')
+	j := i + 1 + strings.IndexByte(s[i+1:], ';')
 	return diskBlock{
-		Mbal: parseBallot(parts[0]),
-		Bal:  parseBallot(parts[1]),
-		Inp:  model.Value(parts[2]),
+		Mbal: parseBallot(s[:i]),
+		Bal:  parseBallot(s[i+1 : j]),
+		Inp:  model.Value(s[j+1:]),
 	}
 }
 
@@ -255,10 +260,52 @@ func (s diskState) abort() diskState {
 	return next
 }
 
-// Key implements model.State.
+// Key implements model.State. It is the reference form of KeyTo.
 func (s diskState) Key() string {
 	return fmt.Sprintf("D%d|%d|%s|%v|%d|%d|%v|%s|%s|%d.%t|%v|%s",
 		s.n, s.pid, string(s.input), s.ballot, s.phase, s.idx,
 		s.ownBal, string(s.ownInp), string(s.proposal),
 		s.maxK, s.aborting, s.maxBal, string(s.balInp))
+}
+
+var _ model.StateKeyWriter = diskState{}
+
+// KeyTo implements model.StateKeyWriter, streaming exactly the bytes Key
+// returns without fmt.
+func (s diskState) KeyTo(w model.KeyWriter) {
+	writeBallot := func(b Ballot) {
+		w.WriteInt(b.K)
+		_ = w.WriteByte('.')
+		w.WriteInt(b.Pid)
+	}
+	_ = w.WriteByte('D')
+	w.WriteInt(s.n)
+	_ = w.WriteByte('|')
+	w.WriteInt(s.pid)
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(string(s.input))
+	_ = w.WriteByte('|')
+	writeBallot(s.ballot)
+	_ = w.WriteByte('|')
+	w.WriteInt(int(s.phase))
+	_ = w.WriteByte('|')
+	w.WriteInt(s.idx)
+	_ = w.WriteByte('|')
+	writeBallot(s.ownBal)
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(string(s.ownInp))
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(string(s.proposal))
+	_ = w.WriteByte('|')
+	w.WriteInt(s.maxK)
+	_ = w.WriteByte('.')
+	if s.aborting {
+		_, _ = w.WriteString("true")
+	} else {
+		_, _ = w.WriteString("false")
+	}
+	_ = w.WriteByte('|')
+	writeBallot(s.maxBal)
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(string(s.balInp))
 }

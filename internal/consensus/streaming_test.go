@@ -1,0 +1,100 @@
+package consensus
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// walkDiskRace enumerates reachable DiskRace configurations (bounded) and
+// hands each to check.
+func walkDiskRace(t *testing.T, n int, limit int, check func(model.Config)) {
+	t.Helper()
+	inputs := make([]model.Value, n)
+	for i := range inputs {
+		inputs[i] = "1"
+	}
+	inputs[0] = "0"
+	c := model.NewConfig(DiskRace{}, inputs)
+	pids := make([]int, n)
+	for i := range pids {
+		pids[i] = i
+	}
+	opts := explore.Options{KeyFn: DiskRace{}.CanonicalKey, MaxConfigs: limit}
+	seen := 0
+	_, err := explore.Reach(context.Background(), c, pids, opts, func(v explore.Visit) bool {
+		check(v.Config)
+		seen++
+		return true
+	})
+	if err != nil && seen < limit-1 {
+		t.Fatal(err)
+	}
+}
+
+// TestCanonicalKeyToMatchesCanonicalKey holds the streaming canonicaliser
+// to its reference implementation byte for byte across reachable
+// configurations: this equality is what makes the exploration engine's
+// fingerprint dedup sound when it hashes via CanonicalKeyTo.
+func TestCanonicalKeyToMatchesCanonicalKey(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		var kb model.KeyBuilder
+		walkDiskRace(t, n, 20000, func(c model.Config) {
+			kb.Reset()
+			DiskRace{}.CanonicalKeyTo(&kb, c)
+			if got, want := kb.String(), (DiskRace{}).CanonicalKey(c); got != want {
+				t.Fatalf("n=%d: CanonicalKeyTo wrote %q, CanonicalKey returns %q", n, got, want)
+			}
+		})
+	}
+}
+
+// TestDiskStateKeyToMatchesKey does the same for the per-state exact key.
+func TestDiskStateKeyToMatchesKey(t *testing.T) {
+	var kb model.KeyBuilder
+	walkDiskRace(t, 3, 20000, func(c model.Config) {
+		for pid := 0; pid < c.NumProcesses(); pid++ {
+			s := c.State(pid).(diskState)
+			kb.Reset()
+			s.KeyTo(&kb)
+			if got, want := kb.String(), s.Key(); got != want {
+				t.Fatalf("p%d: KeyTo wrote %q, Key returns %q", pid, got, want)
+			}
+		}
+	})
+}
+
+// TestCanonicalKeyToFallback pins the non-DiskRace fallback: on a foreign
+// configuration the streaming canonicaliser must emit Config.Key, exactly
+// as CanonicalKey falls back to it.
+func TestCanonicalKeyToFallback(t *testing.T) {
+	c := model.NewConfig(Flood{}, []model.Value{"0", "1"})
+	var kb model.KeyBuilder
+	DiskRace{}.CanonicalKeyTo(&kb, c)
+	if got, want := kb.String(), (DiskRace{}).CanonicalKey(c); got != want {
+		t.Fatalf("fallback mismatch: KeyTo %q, CanonicalKey %q", got, want)
+	}
+	if kb.String() != c.Key() {
+		t.Fatalf("fallback should be Config.Key, got %q", kb.String())
+	}
+}
+
+// TestDecodeBlockRoundTrip covers the hand-rolled split against encode.
+func TestDecodeBlockRoundTrip(t *testing.T) {
+	blocks := []diskBlock{
+		{},
+		{Mbal: Ballot{K: 3, Pid: 1}},
+		{Mbal: Ballot{K: 12, Pid: 0}, Bal: Ballot{K: 12, Pid: 0}, Inp: "1"},
+		{Mbal: Ballot{K: 5, Pid: 2}, Bal: Ballot{K: 4, Pid: 1}, Inp: "0"},
+	}
+	for _, b := range blocks {
+		if got := decodeBlock(b.encode()); got != b {
+			t.Fatalf("round trip of %+v gave %+v (encoded %q)", b, got, string(b.encode()))
+		}
+	}
+	if got := decodeBlock(model.Bottom); got != (diskBlock{}) {
+		t.Fatalf("decodeBlock(Bottom) = %+v, want zero block", got)
+	}
+}

@@ -46,7 +46,10 @@ const (
 func Machine(name string) (model.Machine, explore.Options, error) {
 	switch name {
 	case ProtocolDiskRace:
-		return consensus.DiskRace{}, explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey}, nil
+		return consensus.DiskRace{}, explore.Options{
+			KeyFn: consensus.DiskRace{}.CanonicalKey,
+			KeyTo: consensus.DiskRace{}.CanonicalKeyTo,
+		}, nil
 	case ProtocolFlood:
 		return consensus.Flood{}, explore.Options{}, nil
 	case ProtocolEagerFlood:

@@ -17,13 +17,24 @@
 // connecting move for witness-path reconstruction, and full configurations
 // live only on the BFS frontier. Callers inspect configurations in the
 // visit callback, while they are transiently available.
+//
+// The frontier is expanded level-synchronously by a pool of workers
+// (Options.Workers) that deduplicate through a sharded lock-striped
+// fingerprint set and hash canonical keys streamingly (model.KeyWriter), so
+// no per-configuration key string is materialised on the hot path. The
+// visit callback is always invoked from the calling goroutine, in
+// deterministic order: one worker and N workers visit the same
+// configuration count at every level, and every witness path remains
+// replayable (parallel runs may pick a different — behaviourally
+// equivalent — representative when two same-level configurations share a
+// canonical key).
 package explore
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"runtime"
 
 	"repro/internal/model"
 )
@@ -53,9 +64,23 @@ type Options struct {
 	// configurations; consensus.TestDiskRaceCanonicalBisimulation is the
 	// guard for the one canonicaliser this repository ships.
 	KeyFn func(model.Config) string
+	// KeyTo, when non-nil, streams the same identity as KeyFn (or
+	// Config.Key when KeyFn is nil) into w without materialising a
+	// string; the hot path prefers it. The two forms must agree byte for
+	// byte — the string form stays the reference implementation, and
+	// TestStreamingKeysMatchStringKeys cross-checks them. A KeyTo must be
+	// safe for concurrent use from multiple workers (stream into w only;
+	// any internal scratch must be pooled, as consensus.CanonicalKeyTo
+	// does).
+	KeyTo func(w model.KeyWriter, c model.Config)
+	// Workers is the number of frontier-expansion workers. Zero means
+	// GOMAXPROCS; 1 forces single-threaded expansion. Worker count never
+	// changes the number of configurations visited per level.
+	Workers int
 }
 
-// ConfigKey returns the state identity of c under these options.
+// ConfigKey returns the state identity of c under these options, in its
+// string reference form.
 func (o Options) ConfigKey(c model.Config) string {
 	if o.KeyFn != nil {
 		return o.KeyFn(c)
@@ -76,20 +101,11 @@ func (o Options) maxConfigs() int {
 	return o.MaxConfigs
 }
 
-// fingerprint is a 128-bit FNV-1a digest of a canonical configuration key.
-type fingerprint [2]uint64
-
-func fingerprintOf(key string) fingerprint {
-	h := fnv.New128a()
-	_, _ = h.Write([]byte(key))
-	var sum [16]byte
-	h.Sum(sum[:0])
-	var fp fingerprint
-	for i := 0; i < 8; i++ {
-		fp[0] = fp[0]<<8 | uint64(sum[i])
-		fp[1] = fp[1]<<8 | uint64(sum[8+i])
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
 	}
-	return fp
+	return runtime.GOMAXPROCS(0)
 }
 
 // node is the retained per-state record: enough to reconstruct the witness
@@ -118,6 +134,9 @@ type Result struct {
 	Capped bool
 	// Steps counts state transitions examined (for reporting).
 	Steps int
+	// PeakFrontier is the largest BFS level encountered: the high-water
+	// mark of configurations simultaneously retained by the search.
+	PeakFrontier int
 
 	nodes []node
 }
@@ -141,26 +160,33 @@ func (r *Result) PathTo(id int) (model.Path, bool) {
 	return rev, true
 }
 
-// Moves enumerates the moves available to the processes in p at
-// configuration c: one move per non-decided process, except that a process
-// poised on a coin flip contributes one move per outcome. Decided processes
-// take no steps (their next "step" would be a no-op self-loop).
-func Moves(c model.Config, p []int) []model.Move {
-	moves := make([]model.Move, 0, len(p)+2)
+// AppendMoves appends the moves available to the processes in p at
+// configuration c to dst and returns the extended slice: one move per
+// non-decided process, except that a process poised on a coin flip
+// contributes one move per outcome. Decided processes take no steps (their
+// next "step" would be a no-op self-loop). The append form keeps the
+// exploration inner loop allocation-free: workers pass a reused buffer.
+func AppendMoves(dst []model.Move, c model.Config, p []int) []model.Move {
 	for _, pid := range p {
 		switch c.State(pid).Pending().Kind {
 		case model.OpDecide:
 			// Terminated; contributes no transitions.
 		case model.OpCoin:
-			moves = append(moves,
+			dst = append(dst,
 				model.Move{Pid: pid, Coin: "0"},
 				model.Move{Pid: pid, Coin: "1"},
 			)
 		default:
-			moves = append(moves, model.Move{Pid: pid})
+			dst = append(dst, model.Move{Pid: pid})
 		}
 	}
-	return moves
+	return dst
+}
+
+// Moves enumerates the moves available to the processes in p at
+// configuration c in a fresh slice; hot loops use AppendMoves.
+func Moves(c model.Config, p []int) []model.Move {
+	return AppendMoves(make([]model.Move, 0, len(p)+2), c, p)
 }
 
 // Apply performs the move on c.
@@ -171,11 +197,23 @@ func Apply(c model.Config, m model.Move) model.Config {
 	return c.StepDet(m.Pid)
 }
 
+// levelEntry is one frontier configuration awaiting expansion.
+type levelEntry struct {
+	cfg model.Config
+	id  int32
+}
+
+// parallelThreshold is the smallest level size worth fanning out to the
+// worker pool; below it the coordinator expands inline (a variable so the
+// equivalence tests can force the pool onto tiny spaces).
+var parallelThreshold = 256
+
 // Reach explores every configuration reachable from c by executions
 // containing only steps of processes in p (a "P-only" exploration). The
 // visit callback, if non-nil, is invoked once per distinct configuration in
-// BFS order and may return false to stop the search early (the result is
-// then marked Capped, since the space was not exhausted).
+// BFS order — always from the calling goroutine, whatever Options.Workers
+// says — and may return false to stop the search early (the result is then
+// marked Capped, since the space was not exhausted).
 //
 // ctx bounds the search in wall-clock time: when it is cancelled or its
 // deadline passes, the search stops, marks the result Capped, and returns it
@@ -190,65 +228,77 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 		return res, fmt.Errorf("reach cancelled before start: %w (and %w)", err, ErrCapped)
 	}
 
-	visited := make(map[fingerprint]struct{}, 1024)
-	visited[fingerprintOf(opts.ConfigKey(c))] = struct{}{}
+	s := &search{
+		ctx:        ctx,
+		opts:       opts,
+		p:          p,
+		maxConfigs: maxConfigs,
+		visited:    newFPSet(),
+		scratch:    newWorkerScratch(),
+	}
+	defer s.stopWorkers()
+
+	s.visited.Add(s.scratch.fingerprint(&opts, c))
 	res.nodes = append(res.nodes, node{parent: 0})
 	res.Count = 1
+	res.PeakFrontier = 1
 	if visit != nil && !visit(Visit{Config: c, ID: 0, Depth: 0}) {
 		res.Capped = true
 		return res, fmt.Errorf("reach from %d procs: %w", len(p), ErrCapped)
 	}
 
-	type frontierEntry struct {
-		cfg model.Config
-		id  int32
-	}
-	queue := []frontierEntry{{cfg: c, id: 0}}
-	head := 0
-	for head < len(queue) {
-		cur := queue[head]
-		// Release the consumed entry so its configuration can be
-		// collected, and compact the backing array periodically.
-		queue[head] = frontierEntry{}
-		head++
-		if head > 65536 && head*2 > len(queue) {
-			queue = append([]frontierEntry(nil), queue[head:]...)
-			head = 0
-		}
-		depth := res.nodes[cur.id].depth
+	level := []levelEntry{{cfg: c, id: 0}}
+	var next []levelEntry
+	depth := int32(0)
+	for len(level) > 0 {
 		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
-			// Children beyond the depth cap are not expanded; the
+			// The frontier beyond the depth cap is not expanded; the
 			// space was not exhausted.
 			res.Capped = true
-			continue
+			break
 		}
-		for _, m := range Moves(cur.cfg, p) {
-			res.Steps++
-			if res.Steps%cancelCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					res.Capped = true
-					return res, fmt.Errorf("reach cancelled after %d configs: %w (and %w)", res.Count, err, ErrCapped)
+		if len(level) > res.PeakFrontier {
+			res.PeakFrontier = len(level)
+		}
+		chunks := s.expandLevel(level)
+		if err := ctx.Err(); err != nil {
+			res.Capped = true
+			return res, fmt.Errorf("reach cancelled after %d configs: %w (and %w)", res.Count, err, ErrCapped)
+		}
+		// Merge the chunks in their deterministic order: IDs, visit
+		// order and caps do not depend on the worker count.
+		next = next[:0]
+		for _, ch := range chunks {
+			res.Steps += ch.dupSteps
+			for i := range ch.slots {
+				sl := &ch.slots[i]
+				res.Steps++
+				if res.Steps%cancelCheckInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						res.Capped = true
+						return res, fmt.Errorf("reach cancelled after %d configs: %w (and %w)", res.Count, err, ErrCapped)
+					}
 				}
+				id := int32(len(res.nodes))
+				res.nodes = append(res.nodes, node{parent: sl.parent, depth: depth + 1, via: sl.via})
+				res.Count++
+				if visit != nil && !visit(Visit{Config: sl.cfg, ID: int(id), Depth: int(depth + 1)}) {
+					res.Capped = true
+					return res, fmt.Errorf("reach visit stop: %w", ErrCapped)
+				}
+				if res.Count >= maxConfigs {
+					res.Capped = true
+					return res, fmt.Errorf("reach hit %d configs: %w", maxConfigs, ErrCapped)
+				}
+				next = append(next, levelEntry{cfg: sl.cfg, id: id})
 			}
-			next := Apply(cur.cfg, m)
-			fp := fingerprintOf(opts.ConfigKey(next))
-			if _, seen := visited[fp]; seen {
-				continue
-			}
-			visited[fp] = struct{}{}
-			id := int32(len(res.nodes))
-			res.nodes = append(res.nodes, node{parent: cur.id, depth: depth + 1, via: m})
-			res.Count++
-			if visit != nil && !visit(Visit{Config: next, ID: int(id), Depth: int(depth + 1)}) {
-				res.Capped = true
-				return res, fmt.Errorf("reach visit stop: %w", ErrCapped)
-			}
-			if res.Count >= maxConfigs {
-				res.Capped = true
-				return res, fmt.Errorf("reach hit %d configs: %w", maxConfigs, ErrCapped)
-			}
-			queue = append(queue, frontierEntry{cfg: next, id: id})
 		}
+		// Swap the level buffers: the consumed level's entries were
+		// overwritten by next[:0] appends or go out of live reach here,
+		// so the frontier's live heap is bounded by two adjacent levels
+		// (see TestReachFrontierBoundedLiveHeap).
+		level, next = next, level
+		depth++
 	}
 	if res.Capped {
 		return res, fmt.Errorf("reach depth-capped at %d: %w", opts.MaxDepth, ErrCapped)

@@ -179,7 +179,7 @@ func TestMovesBranchesOnCoins(t *testing.T) {
 }
 
 func TestFingerprintDistinctness(t *testing.T) {
-	seen := make(map[fingerprint]string)
+	seen := make(map[Fingerprint]string)
 	for i := 0; i < 100000; i++ {
 		key := strconv.Itoa(i)
 		fp := fingerprintOf(key)

@@ -1,0 +1,133 @@
+package explore
+
+import (
+	"hash"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// Fingerprint is a 128-bit FNV-1a digest of a configuration's canonical
+// key. The visited set and the valency oracle's memo tables store
+// fingerprints instead of key strings: equality of fingerprints is treated
+// as equality of canonical keys. A false merge therefore needs a 128-bit
+// collision — for 10^8 distinct states the probability is below 10^-21,
+// far below the chance of a memory error on commodity hardware, which is
+// the standard this repository accepts for "exhaustive".
+type Fingerprint [2]uint64
+
+// fingerprintOf digests an already-materialised key string. It is the
+// reference form of hasher.fingerprint; the streaming path must produce
+// identical fingerprints (TestStreamingKeysMatchStringKeys).
+func fingerprintOf(key string) Fingerprint {
+	h := fnv.New128a()
+	_, _ = h.Write([]byte(key))
+	var sum [16]byte
+	h.Sum(sum[:0])
+	var fp Fingerprint
+	for i := 0; i < 8; i++ {
+		fp[0] = fp[0]<<8 | uint64(sum[i])
+		fp[1] = fp[1]<<8 | uint64(sum[8+i])
+	}
+	return fp
+}
+
+// hasher is per-worker scratch for streaming a configuration's canonical
+// key into an FNV-128a state without materialising it. Not safe for
+// concurrent use.
+type hasher struct {
+	kb  model.KeyBuilder
+	h   hash.Hash
+	sum [16]byte
+}
+
+func newHasher() *hasher {
+	return &hasher{h: fnv.New128a()}
+}
+
+// fingerprint digests c's canonical key under opts. Preference order:
+// KeyTo (pure streaming), then KeyFn (string materialised, then hashed —
+// still correct, just slower), then Config.KeyTo.
+func (hs *hasher) fingerprint(opts *Options, c model.Config) Fingerprint {
+	hs.kb.Reset()
+	switch {
+	case opts.KeyTo != nil:
+		opts.KeyTo(&hs.kb, c)
+	case opts.KeyFn != nil:
+		_, _ = hs.kb.WriteString(opts.KeyFn(c))
+	default:
+		c.KeyTo(&hs.kb)
+	}
+	hs.h.Reset()
+	_, _ = hs.h.Write(hs.kb.Bytes())
+	sum := hs.h.Sum(hs.sum[:0])
+	var fp Fingerprint
+	for i := 0; i < 8; i++ {
+		fp[0] = fp[0]<<8 | uint64(sum[i])
+		fp[1] = fp[1]<<8 | uint64(sum[8+i])
+	}
+	return fp
+}
+
+var hasherPool = sync.Pool{New: func() any { return newHasher() }}
+
+// Fingerprint digests c's canonical key under o, using pooled scratch. It
+// is the key the valency oracle memoises on; it matches what the engine's
+// visited set stores for the same options.
+func (o Options) Fingerprint(c model.Config) Fingerprint {
+	hs := hasherPool.Get().(*hasher)
+	fp := hs.fingerprint(&o, c)
+	hasherPool.Put(hs)
+	return fp
+}
+
+// fpShards is the stripe count of the visited set. 64 stripes keep
+// contention negligible for any plausible worker count while the
+// per-stripe padding stays cheap.
+const fpShards = 64
+
+type fpShard struct {
+	mu sync.Mutex
+	m  map[Fingerprint]struct{}
+	// Pad each shard past a cache line so neighbouring mutexes do not
+	// false-share under contention.
+	_ [40]byte
+}
+
+// fpSet is the sharded lock-striped visited set raced by the expansion
+// workers. Add is linearisable per fingerprint: exactly one caller wins a
+// given fingerprint, however many workers race it.
+type fpSet struct {
+	count  atomic.Int64
+	shards [fpShards]fpShard
+}
+
+func newFPSet() *fpSet {
+	s := &fpSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[Fingerprint]struct{}, 64)
+	}
+	return s
+}
+
+// Add inserts fp and reports whether it was absent (i.e. the caller is the
+// unique winner for this fingerprint).
+func (s *fpSet) Add(fp Fingerprint) bool {
+	sh := &s.shards[fp[0]&(fpShards-1)]
+	sh.mu.Lock()
+	if _, ok := sh.m[fp]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[fp] = struct{}{}
+	sh.mu.Unlock()
+	s.count.Add(1)
+	return true
+}
+
+// Len returns the number of distinct fingerprints inserted so far. It may
+// be momentarily stale while workers race Adds; the engine only uses it as
+// a soft overflow brake, never for exact accounting.
+func (s *fpSet) Len() int { return int(s.count.Load()) }

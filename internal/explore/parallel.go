@@ -1,0 +1,169 @@
+package explore
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// The level-synchronous engine behind Reach. Each BFS level is split into
+// contiguous chunks; workers expand chunks concurrently, racing the shared
+// fingerprint set for deduplication and recording the fresh children they
+// won in per-chunk slots. The coordinator then merges the chunks in index
+// order, so IDs, visit order and cap behaviour are independent of the
+// worker count; only the choice of representative among same-level
+// duplicates (and hence the exact witness path) can vary between runs,
+// which is safe because equal fingerprints mean equal canonical keys.
+
+// chunksPerWorker over-partitions each level so a slow chunk does not
+// leave the rest of the pool idle.
+const chunksPerWorker = 4
+
+// cancelPollStride is how many transitions a worker expands between polls
+// of the context and the soft configuration cap.
+const cancelPollStride = 512
+
+// minChunkSize floors the per-chunk work so tiny levels do not drown in
+// dispatch overhead (a variable so the equivalence tests can force many
+// chunks onto small spaces).
+var minChunkSize = 64
+
+// childSlot records one fresh (first-visit) child produced by a worker,
+// pending the coordinator's deterministic merge.
+type childSlot struct {
+	cfg    model.Config
+	via    model.Move
+	parent int32
+}
+
+// chunk is one contiguous slice [lo,hi) of the level being expanded, plus
+// the expansion output. Slot buffers persist across levels to keep the
+// steady state allocation-free.
+type chunk struct {
+	lo, hi   int
+	slots    []childSlot
+	dupSteps int
+}
+
+// workerScratch is the per-goroutine reusable state: a moves buffer and a
+// streaming key hasher.
+type workerScratch struct {
+	moves []model.Move
+	*hasher
+}
+
+func newWorkerScratch() *workerScratch {
+	return &workerScratch{hasher: newHasher()}
+}
+
+// search carries the state of one Reach call across levels.
+type search struct {
+	ctx        context.Context
+	opts       Options
+	p          []int
+	maxConfigs int
+	visited    *fpSet
+	scratch    *workerScratch // coordinator's own scratch, for inline expansion
+
+	level  []levelEntry // the level currently being expanded (read-only to workers)
+	chunks []chunk
+
+	workCh  chan *chunk
+	levelWG sync.WaitGroup
+	wg      sync.WaitGroup
+	started bool
+}
+
+// expandLevel expands every entry of level and returns the populated
+// chunks in their deterministic index order. Small levels (or Workers: 1)
+// are expanded inline on the calling goroutine; larger ones fan out to the
+// lazily started worker pool.
+func (s *search) expandLevel(level []levelEntry) []chunk {
+	s.level = level
+	workers := s.opts.workers()
+	if workers <= 1 || len(level) < parallelThreshold {
+		s.ensureChunks(1)
+		ch := &s.chunks[0]
+		ch.lo, ch.hi = 0, len(level)
+		s.expandRange(ch, s.scratch)
+		return s.chunks[:1]
+	}
+	if !s.started {
+		s.startWorkers(workers)
+	}
+	chunkSize := (len(level) + workers*chunksPerWorker - 1) / (workers * chunksPerWorker)
+	if chunkSize < minChunkSize {
+		chunkSize = minChunkSize
+	}
+	n := (len(level) + chunkSize - 1) / chunkSize
+	s.ensureChunks(n)
+	s.levelWG.Add(n)
+	for i := 0; i < n; i++ {
+		ch := &s.chunks[i]
+		ch.lo = i * chunkSize
+		ch.hi = min(ch.lo+chunkSize, len(level))
+		s.workCh <- ch
+	}
+	s.levelWG.Wait()
+	return s.chunks[:n]
+}
+
+// expandRange expands the level entries in [ch.lo, ch.hi), racing the
+// shared visited set. It bails out early when the context is cancelled or
+// the visited set has already overflowed the configuration cap; both
+// conditions guarantee the coordinator caps the result, so truncated
+// output is never mistaken for exhaustion.
+func (s *search) expandRange(ch *chunk, ws *workerScratch) {
+	ch.slots = ch.slots[:0]
+	ch.dupSteps = 0
+	steps := 0
+	for i := ch.lo; i < ch.hi; i++ {
+		ent := &s.level[i]
+		ws.moves = AppendMoves(ws.moves[:0], ent.cfg, s.p)
+		for _, m := range ws.moves {
+			steps++
+			if steps%cancelPollStride == 0 {
+				if s.ctx.Err() != nil || s.visited.Len() > s.maxConfigs {
+					return
+				}
+			}
+			child := Apply(ent.cfg, m)
+			if s.visited.Add(ws.fingerprint(&s.opts, child)) {
+				ch.slots = append(ch.slots, childSlot{cfg: child, via: m, parent: ent.id})
+			} else {
+				ch.dupSteps++
+			}
+		}
+	}
+}
+
+func (s *search) ensureChunks(n int) {
+	for len(s.chunks) < n {
+		s.chunks = append(s.chunks, chunk{})
+	}
+}
+
+func (s *search) startWorkers(n int) {
+	s.workCh = make(chan *chunk, n*chunksPerWorker)
+	s.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer s.wg.Done()
+			ws := newWorkerScratch()
+			for ch := range s.workCh {
+				s.expandRange(ch, ws)
+				s.levelWG.Done()
+			}
+		}()
+	}
+	s.started = true
+}
+
+// stopWorkers shuts the pool down; safe to call whether or not it started.
+func (s *search) stopWorkers() {
+	if s.started {
+		close(s.workCh)
+		s.wg.Wait()
+	}
+}

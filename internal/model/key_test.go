@@ -1,0 +1,94 @@
+package model
+
+import (
+	"strconv"
+	"testing"
+)
+
+// keyedState is a plain State whose Key goes through the string path of
+// Config.KeyTo.
+type keyedState struct {
+	pid, left int
+}
+
+func (s keyedState) Pending() Op {
+	if s.left == 0 {
+		return Op{Kind: OpDecide, Arg: "d"}
+	}
+	return Op{Kind: OpWrite, Reg: s.pid, Arg: Value(strconv.Itoa(s.left))}
+}
+
+func (s keyedState) Next(Value) State { return keyedState{pid: s.pid, left: s.left - 1} }
+
+func (s keyedState) Key() string { return "k" + strconv.Itoa(s.pid) + "." + strconv.Itoa(s.left) }
+
+// streamedState additionally implements StateKeyWriter, exercising the
+// allocation-free path of Config.KeyTo.
+type streamedState struct{ keyedState }
+
+func (s streamedState) Next(v Value) State {
+	return streamedState{keyedState{pid: s.pid, left: s.left - 1}}
+}
+
+func (s streamedState) KeyTo(w KeyWriter) {
+	_ = w.WriteByte('k')
+	w.WriteInt(s.pid)
+	_ = w.WriteByte('.')
+	w.WriteInt(s.left)
+}
+
+type keyMachine struct{ streamed bool }
+
+func (keyMachine) Name() string        { return "keytest" }
+func (keyMachine) Registers(n int) int { return n }
+func (m keyMachine) Init(n, pid int, input Value) State {
+	budget, _ := strconv.Atoi(string(input))
+	if m.streamed {
+		return streamedState{keyedState{pid: pid, left: budget}}
+	}
+	return keyedState{pid: pid, left: budget}
+}
+
+// TestKeyToMatchesKey holds Config.KeyTo to its contract: the streamed
+// bytes equal the reference Key() string on every configuration along an
+// execution, for states with and without the StateKeyWriter fast path.
+func TestKeyToMatchesKey(t *testing.T) {
+	for _, streamed := range []bool{false, true} {
+		c := NewConfig(keyMachine{streamed: streamed}, []Value{"2", "3"})
+		var kb KeyBuilder
+		for i := 0; i < 6; i++ {
+			kb.Reset()
+			c.KeyTo(&kb)
+			if got, want := kb.String(), c.Key(); got != want {
+				t.Fatalf("streamed=%t step %d: KeyTo wrote %q, Key returns %q", streamed, i, got, want)
+			}
+			pid := i % 2
+			if _, done := c.Decided(pid); !done {
+				c = c.StepDet(pid)
+			}
+		}
+	}
+}
+
+// TestKeyBuilderWriters covers each KeyWriter method and Reset reuse.
+func TestKeyBuilderWriters(t *testing.T) {
+	var kb KeyBuilder
+	_, _ = kb.Write([]byte("ab"))
+	_ = kb.WriteByte('c')
+	_, _ = kb.WriteString("de")
+	kb.WriteInt(-42)
+	if got := kb.String(); got != "abcde-42" {
+		t.Fatalf("built %q, want %q", got, "abcde-42")
+	}
+	if kb.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", kb.Len())
+	}
+	kb.Reset()
+	if kb.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", kb.Len())
+	}
+	kb.WriteInt(7)
+	if got := string(kb.Bytes()); got != "7" {
+		t.Fatalf("after reset built %q, want %q", got, "7")
+	}
+}

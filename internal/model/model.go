@@ -251,17 +251,19 @@ func (c Config) CoverSet(r []int) (map[int]bool, bool) {
 
 // Key returns a canonical encoding of the configuration: the keys of all
 // process states plus all register contents. Two configurations with equal
-// keys are identical (indistinguishable to every process).
+// keys are identical (indistinguishable to every process). It is the
+// reference form of KeyTo, which streams the same bytes without
+// materialising the string; TestKeyToMatchesKey holds the two together.
 func (c Config) Key() string {
 	var b strings.Builder
 	for _, s := range c.states {
 		b.WriteString(s.Key())
-		b.WriteByte('\x1f')
+		b.WriteByte(keySepField)
 	}
-	b.WriteByte('\x1e')
+	b.WriteByte(keySepSection)
 	for _, v := range c.regs {
 		b.WriteString(string(v))
-		b.WriteByte('\x1f')
+		b.WriteByte(keySepField)
 	}
 	return b.String()
 }

@@ -14,7 +14,10 @@ import (
 
 func witness(t *testing.T) (*adversary.Theorem1Witness, model.Config) {
 	t.Helper()
-	engine := adversary.New(valency.New(explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey}))
+	engine := adversary.New(valency.New(explore.Options{
+		KeyFn: consensus.DiskRace{}.CanonicalKey,
+		KeyTo: consensus.DiskRace{}.CanonicalKeyTo,
+	}))
 	w, err := engine.Theorem1(context.Background(), consensus.DiskRace{}, 3)
 	if err != nil {
 		t.Fatal(err)

@@ -6,17 +6,29 @@
 //
 // The paper treats "P can decide v from C" as a mathematical quantifier. The
 // Oracle decides it by exhaustive P-only exploration (internal/explore) with
-// memoisation on canonical configuration keys. For the finite-state protocols
-// this repository studies the answer is exact; if a protocol's reachable
-// space exceeds the configured caps the oracle fails loudly rather than
-// guessing.
+// memoisation on canonical configuration fingerprints. For the finite-state
+// protocols this repository studies the answer is exact; if a protocol's
+// reachable space exceeds the configured caps the oracle fails loudly rather
+// than guessing.
+//
+// Two asymmetries shape the oracle's fast paths. Bivalence has a short
+// positive certificate — one P-only execution deciding each value — while
+// univalence requires exhausting the whole P-only space. And the cheapest
+// certificates are usually solo executions: under the paper's
+// solo-termination hypothesis every process decides running alone, and a
+// solo run explores a tiny branch of the space. Decidable therefore seeds
+// every query with the (memoised) solo-deciding executions of the processes
+// in P before falling back to exhaustive search, and ProbeBivalent exposes
+// the certificate-seeking mode with an explicit budget for callers (the
+// adversary's Lemma 1) that can exploit a positive answer without needing
+// the negative one.
 package valency
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"strconv"
-	"strings"
+	"slices"
 
 	"repro/internal/explore"
 	"repro/internal/model"
@@ -36,22 +48,69 @@ func Opposite(v model.Value) model.Value {
 	return V0
 }
 
+// queryKey identifies a valency query: the 128-bit fingerprint of the
+// configuration's canonical key plus the process set as a bitmask. As in
+// the explore package, fingerprint equality is trusted as key equality: a
+// false memo hit needs a 128-bit FNV collision, whose probability across
+// any feasible number of queries is far below that of a hardware fault.
+type queryKey struct {
+	fp   explore.Fingerprint
+	pids uint64
+}
+
+// soloKey identifies a solo-termination query.
+type soloKey struct {
+	fp  explore.Fingerprint
+	pid int
+}
+
+// soloEntry is a memoised SoloDeciding answer: either a witness or a
+// definite (in-bounds) refutation of solo termination.
+type soloEntry struct {
+	path model.Path
+	val  model.Value
+	err  string
+}
+
+// Memo is the shared memoisation state of one or more Oracles. The
+// adversary's lemma stages construct their oracles with NewWithMemo over a
+// common Memo so that, e.g., the valency queries Lemma 3 replays along
+// prefixes already walked by Lemma 2 hit instead of re-exploring. Sharing
+// is sound exactly when the oracles share exploration options (the
+// fingerprints must mean the same canonical keys); NewWithMemo is the only
+// way to opt in.
+type Memo struct {
+	verdicts map[queryKey]*Verdict
+	solo     map[soloKey]*soloEntry
+}
+
+// NewMemo returns an empty memo table for NewWithMemo.
+func NewMemo() *Memo {
+	return &Memo{
+		verdicts: make(map[queryKey]*Verdict),
+		solo:     make(map[soloKey]*soloEntry),
+	}
+}
+
 // Oracle answers valency queries for one protocol instance. It memoises
-// decidable-value sets keyed by (configuration, process set), which the
-// adversary constructions in internal/adversary query heavily along
-// overlapping prefixes.
+// decidable-value sets keyed by (configuration fingerprint, process set),
+// which the adversary constructions in internal/adversary query heavily
+// along overlapping prefixes.
 type Oracle struct {
 	opts  explore.Options
-	memo  map[string]*Verdict
+	memo  *Memo
 	stats Stats
 }
 
 // Stats reports the work an oracle has done, for the experiment tables.
 type Stats struct {
-	// Queries counts Decidable calls, Hits the memoised ones.
+	// Queries counts Decidable/ProbeBivalent calls, Hits the memoised ones.
 	Queries, Hits int
+	// SoloQueries counts SoloDeciding searches, SoloHits the memoised ones
+	// (already-decided fast paths are not counted).
+	SoloQueries, SoloHits int
 	// Configs is the total number of distinct configurations visited
-	// across all non-memoised queries.
+	// across all non-memoised queries, solo searches included.
 	Configs int
 }
 
@@ -90,47 +149,71 @@ func (v *Verdict) Any() (model.Value, bool) {
 	return model.Bottom, false
 }
 
-// New returns an oracle using the given exploration bounds.
+// New returns an oracle using the given exploration bounds, with a private
+// memo table.
 func New(opts explore.Options) *Oracle {
-	return &Oracle{
-		opts: opts,
-		memo: make(map[string]*Verdict),
-	}
+	return NewWithMemo(opts, NewMemo())
+}
+
+// NewWithMemo returns an oracle sharing the given memo table. All oracles
+// sharing a memo must use identical exploration options.
+func NewWithMemo(opts explore.Options, memo *Memo) *Oracle {
+	return &Oracle{opts: opts, memo: memo}
 }
 
 // Stats returns a copy of the oracle's work counters.
 func (o *Oracle) Stats() Stats { return o.stats }
 
-func (o *Oracle) queryKey(c model.Config, p []int) string {
-	var b strings.Builder
-	b.WriteString(o.opts.ConfigKey(c))
-	b.WriteByte('#')
+func (o *Oracle) queryKey(c model.Config, p []int) (queryKey, error) {
+	var mask uint64
 	for _, pid := range p {
-		b.WriteString(strconv.Itoa(pid))
-		b.WriteByte(',')
+		if pid < 0 || pid >= 64 {
+			return queryKey{}, fmt.Errorf("valency: pid %d outside memo-key range [0,64)", pid)
+		}
+		mask |= 1 << uint(pid)
 	}
-	return b.String()
+	return queryKey{fp: o.opts.Fingerprint(c), pids: mask}, nil
 }
 
-// Decidable computes the set of values the process set p can decide from c
-// (Definition 1), with witness executions. p must be non-empty and sorted
-// (use model.PidList / model.Without to build process sets).
-func (o *Oracle) Decidable(ctx context.Context, c model.Config, p []int) (*Verdict, error) {
-	if len(p) == 0 {
-		return nil, fmt.Errorf("valency: empty process set")
-	}
-	o.stats.Queries++
-	key := o.queryKey(c, p)
-	if v, ok := o.memo[key]; ok {
-		o.stats.Hits++
-		return v, nil
-	}
-	verdict := &Verdict{
+func newVerdict() *Verdict {
+	return &Verdict{
 		Decidable: make(map[model.Value]bool),
 		Witness:   make(map[model.Value]model.Path),
 	}
+}
+
+// seedSolo seeds verdict with the (memoised) solo-deciding executions of
+// the processes in p — each is a p-only execution, so every value it
+// decides belongs in the decidable set. Processes that cannot decide solo
+// within bounds contribute nothing and the error is swallowed (the
+// exhaustive search still decides the query); only context cancellation
+// propagates.
+func (o *Oracle) seedSolo(ctx context.Context, c model.Config, p []int, verdict *Verdict) error {
+	for _, pid := range p {
+		path, val, err := o.SoloDeciding(ctx, c, pid)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("valency solo seed p%d: %w", pid, err)
+			}
+			continue
+		}
+		if !verdict.Decidable[val] {
+			verdict.Decidable[val] = true
+			verdict.Witness[val] = path
+		}
+		if verdict.Bivalent() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// exploreDecidable runs the exhaustive p-only search, folding decided
+// values into verdict. Values already seeded keep their witnesses; the
+// search stops as soon as the verdict is bivalent.
+func (o *Oracle) exploreDecidable(ctx context.Context, c model.Config, p []int, opts explore.Options, verdict *Verdict) error {
 	witnessIDs := make(map[model.Value]int)
-	res, err := explore.Reach(ctx, c, p, o.opts, func(v explore.Visit) bool {
+	res, err := explore.Reach(ctx, c, p, opts, func(v explore.Visit) bool {
 		for val := range v.Config.DecidedValues() {
 			if !verdict.Decidable[val] {
 				verdict.Decidable[val] = true
@@ -143,20 +226,108 @@ func (o *Oracle) Decidable(ctx context.Context, c model.Config, p []int) (*Verdi
 		return !(verdict.Decidable[V0] && verdict.Decidable[V1])
 	})
 	o.stats.Configs += res.Count
+	for val, id := range witnessIDs {
+		path, ok := res.PathTo(id)
+		if !ok {
+			return fmt.Errorf("valency: lost witness for %q", string(val))
+		}
+		verdict.Witness[val] = path
+	}
+	return err
+}
+
+// Decidable computes the set of values the process set p can decide from c
+// (Definition 1), with witness executions. p must be non-empty and sorted
+// (use model.PidList / model.Without to build process sets).
+func (o *Oracle) Decidable(ctx context.Context, c model.Config, p []int) (*Verdict, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("valency: empty process set")
+	}
+	o.stats.Queries++
+	key, err := o.queryKey(c, p)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := o.memo.verdicts[key]; ok {
+		o.stats.Hits++
+		return v, nil
+	}
+	verdict := newVerdict()
+	if err := o.seedSolo(ctx, c, p, verdict); err != nil {
+		return nil, err
+	}
+	if verdict.Bivalent() {
+		// Two solo certificates already prove bivalence — maximal
+		// knowledge, no exhaustive search needed.
+		o.memo.verdicts[key] = verdict
+		return verdict, nil
+	}
+	err = o.exploreDecidable(ctx, c, p, o.opts, verdict)
 	// A capped search that already proved bivalence is still exact:
 	// decidable sets only grow, and {0,1} is maximal.
 	if err != nil && !verdict.Bivalent() {
 		return nil, fmt.Errorf("valency query |P|=%d: %w", len(p), err)
 	}
-	for val, id := range witnessIDs {
-		path, ok := res.PathTo(id)
-		if !ok {
-			return nil, fmt.Errorf("valency: lost witness for %q", string(val))
-		}
-		verdict.Witness[val] = path
-	}
-	o.memo[key] = verdict
+	o.memo.verdicts[key] = verdict
 	return verdict, nil
+}
+
+// ProbeBivalent asks only whether p is bivalent from c, spending at most
+// budget configurations (0 means the oracle's full MaxConfigs). Unlike
+// Bivalent it can return without an answer: (false, nil) means "no
+// bivalence certificate found within budget", NOT "univalent". Positive
+// answers and exhausted (in-budget) searches are exact and memoised as full
+// verdicts; budget-capped misses are not memoised, so a later exhaustive
+// query is unimpeded.
+//
+// The probe is what makes bivalence's asymmetry exploitable: the
+// adversary's Lemma 1 needs only *some* process whose removal leaves a
+// bivalent set, and finding one costs two solo certificates instead of
+// exhausting a |P|-1 space.
+func (o *Oracle) ProbeBivalent(ctx context.Context, c model.Config, p []int, budget int) (bool, error) {
+	if len(p) == 0 {
+		return false, fmt.Errorf("valency: empty process set")
+	}
+	o.stats.Queries++
+	key, err := o.queryKey(c, p)
+	if err != nil {
+		return false, err
+	}
+	if v, ok := o.memo.verdicts[key]; ok {
+		o.stats.Hits++
+		return v.Bivalent(), nil
+	}
+	verdict := newVerdict()
+	if err := o.seedSolo(ctx, c, p, verdict); err != nil {
+		return false, err
+	}
+	if verdict.Bivalent() {
+		o.memo.verdicts[key] = verdict
+		return true, nil
+	}
+	opts := o.opts
+	if budget > 0 && budget < opts.MaxConfigs {
+		opts.MaxConfigs = budget
+	} else if budget > 0 && opts.MaxConfigs <= 0 && budget < explore.DefaultMaxConfigs {
+		opts.MaxConfigs = budget
+	}
+	err = o.exploreDecidable(ctx, c, p, opts, verdict)
+	switch {
+	case verdict.Bivalent():
+		o.memo.verdicts[key] = verdict
+		return true, nil
+	case err == nil:
+		// The p-only space was exhausted within budget: the verdict is
+		// exact (and not bivalent), so memoise it like Decidable would.
+		o.memo.verdicts[key] = verdict
+		return false, nil
+	case ctx.Err() != nil:
+		return false, fmt.Errorf("valency probe |P|=%d: %w", len(p), err)
+	default:
+		// Budget exhausted without a certificate: inconclusive, leave
+		// the memo empty for a future exhaustive query.
+		return false, nil
+	}
 }
 
 // Bivalent reports whether p is bivalent from c (Definition 1).
@@ -192,9 +363,25 @@ func (o *Oracle) Univalent(ctx context.Context, c model.Config, p []int) (model.
 // every pid is exactly the paper's "nondeterministic solo terminating"
 // hypothesis; an error therefore means the protocol under test is not NST
 // within the oracle's bounds.
+//
+// Answers are memoised per (configuration fingerprint, pid): Lemmas 2 and 3
+// re-ask along overlapping execution prefixes, and Decidable's solo seeding
+// asks again for every superset query. Definite refutations are memoised
+// too; bounded failures (context, caps) are not, since a retry with more
+// budget could succeed.
 func (o *Oracle) SoloDeciding(ctx context.Context, c model.Config, pid int) (model.Path, model.Value, error) {
 	if v, ok := c.Decided(pid); ok {
 		return nil, v, nil
+	}
+	o.stats.SoloQueries++
+	key := soloKey{fp: o.opts.Fingerprint(c), pid: pid}
+	if e, ok := o.memo.solo[key]; ok {
+		o.stats.SoloHits++
+		if e.err != "" {
+			return nil, model.Bottom, errors.New(e.err)
+		}
+		// Clone: callers splice witness paths into longer schedules.
+		return slices.Clone(e.path), e.val, nil
 	}
 	var (
 		decided model.Value
@@ -208,17 +395,21 @@ func (o *Oracle) SoloDeciding(ctx context.Context, c model.Config, pid int) (mod
 		}
 		return true
 	})
+	o.stats.Configs += res.Count
 	if foundID < 0 {
 		if err != nil {
 			return nil, model.Bottom, fmt.Errorf("solo termination search for p%d: %w", pid, err)
 		}
-		return nil, model.Bottom, fmt.Errorf(
+		nstErr := fmt.Errorf(
 			"protocol is not solo terminating: p%d cannot decide solo (%d configs searched)",
 			pid, res.Count)
+		o.memo.solo[key] = &soloEntry{err: nstErr.Error()}
+		return nil, model.Bottom, nstErr
 	}
 	path, ok := res.PathTo(foundID)
 	if !ok {
 		return nil, model.Bottom, fmt.Errorf("valency: lost solo witness for p%d", pid)
 	}
-	return path, decided, nil
+	o.memo.solo[key] = &soloEntry{path: path, val: decided}
+	return slices.Clone(path), decided, nil
 }
