@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	benchreport [-out BENCH_explore.json] [-check]
+//	benchreport [-out BENCH_explore.json] [-check] [-debug-addr host:port] [-trace-out trace.jsonl]
+//
+// Every run records the final observability snapshot (memo hit rates, peak
+// frontier, dedup hits) in the report's "metrics" object, so the perf
+// trajectory tracks cache behaviour alongside configs/sec; -debug-addr and
+// -trace-out additionally expose the run live.
 //
 // With -check the command exits non-zero if the parallel engine's
 // configs/sec on the DiskRace n=3 reference workload falls below half of
@@ -30,6 +35,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/explore"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/valency"
 )
 
@@ -71,6 +77,11 @@ type Report struct {
 	// SpeedupDiskRaceN3 is parallel/sequential configs-per-second on the
 	// DiskRace n=3 reference workload — the ratio -check gates on.
 	SpeedupDiskRaceN3 float64 `json:"speedup_diskrace_n3"`
+	// Metrics is the final observability-registry snapshot of the whole
+	// suite: valency memo hit rates, explore peak frontier and dedup
+	// hits, lemma 4 rounds — the cache-behaviour half of the perf
+	// trajectory.
+	Metrics map[string]any `json:"metrics"`
 }
 
 func diskOpts() explore.Options {
@@ -110,9 +121,10 @@ func measureReach(name string, c model.Config, pids []int, opts explore.Options)
 	return r, nil
 }
 
-func measureTheorem1(protocol model.Machine, opts explore.Options, n int, budget time.Duration) TheoremRun {
+func measureTheorem1(protocol model.Machine, opts explore.Options, n int, budget time.Duration, scope *obs.Scope) TheoremRun {
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
+	opts.Obs = scope
 	engine := adversary.New(valency.New(opts))
 	start := time.Now()
 	w, err := engine.Theorem1(ctx, protocol, n)
@@ -139,7 +151,27 @@ func measureTheorem1(protocol model.Machine, opts explore.Options, n int, budget
 func run() (int, error) {
 	out := flag.String("out", "BENCH_explore.json", "output path for the JSON report")
 	check := flag.Bool("check", false, "exit non-zero if parallel Reach is >2x slower than sequential on DiskRace n=3")
+	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
+	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
 	flag.Parse()
+
+	// The scope observes the end-to-end Theorem 1 rows (the
+	// microbenchmark rows stay unobserved so their allocs/config numbers
+	// remain comparable across reports); its final snapshot is embedded
+	// in the report whether or not the live endpoints were requested.
+	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr})
+	if err != nil {
+		return 1, err
+	}
+	if scope == nil {
+		scope = obs.NewScope(nil)
+		stopObs = func() error { return nil }
+	}
+	defer func() {
+		if err := stopObs(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport: observability shutdown:", err)
+		}
+	}()
 
 	rep := Report{
 		GoVersion:  runtime.Version(),
@@ -197,9 +229,10 @@ func run() (int, error) {
 	// End-to-end Theorem 1 rows (experiment E15): n=3 as the historical
 	// reference point, n=4 as the run this engine exists to make feasible.
 	rep.Theorem1 = append(rep.Theorem1,
-		measureTheorem1(consensus.DiskRace{}, diskOpts(), 3, 5*time.Minute),
-		measureTheorem1(consensus.DiskRace{}, diskOpts(), 4, 10*time.Minute),
+		measureTheorem1(consensus.DiskRace{}, diskOpts(), 3, 5*time.Minute, scope),
+		measureTheorem1(consensus.DiskRace{}, diskOpts(), 4, 10*time.Minute, scope),
 	)
+	rep.Metrics = scope.Registry().Snapshot()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

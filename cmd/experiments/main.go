@@ -2,10 +2,12 @@
 // from live runs, in Markdown, so the documented numbers are always
 // reproducible with one command:
 //
-//	go run ./cmd/experiments [-heavy]
+//	go run ./cmd/experiments [-heavy] [-debug-addr host:port] [-trace-out trace.jsonl]
 //
 // -heavy additionally runs the slow rows (larger n for the adversary and
-// bounded model checking), which take minutes.
+// bounded model checking), which take minutes — exactly the runs worth
+// watching via -debug-addr (live /progress and /debug/pprof) or recording
+// via -trace-out (JSONL phase spans).
 package main
 
 import (
@@ -27,20 +29,32 @@ import (
 	"repro/internal/model"
 	"repro/internal/mutex"
 	"repro/internal/native"
+	"repro/internal/obs"
 	"repro/internal/perturb"
 	"repro/internal/valency"
 )
 
 func main() {
 	heavy := flag.Bool("heavy", false, "include slow rows (minutes)")
+	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
+	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
 	flag.Parse()
-	if err := run(*heavy); err != nil {
+	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	runErr := run(*heavy, scope)
+	if err := stopObs(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: observability shutdown:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(heavy bool) error {
+func run(heavy bool, scope *obs.Scope) error {
 	fmt.Println("## E1 — Theorem 1: the adversary forces n-1 distinct registers")
 	fmt.Println()
 	fmt.Println("| protocol | n | registers witnessed | bound n-1 | execution steps | covering rounds | oracle configs |")
@@ -56,6 +70,7 @@ func run(heavy bool) error {
 		{consensus.DiskRace{}, explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey, KeyTo: consensus.DiskRace{}.CanonicalKeyTo}, 3},
 	}
 	for _, a := range attacks {
+		a.opts.Obs = scope
 		engine := adversary.New(valency.New(a.opts))
 		w, err := engine.Theorem1(context.Background(), a.machine, a.n)
 		if err != nil {
@@ -103,6 +118,7 @@ func run(heavy bool) error {
 		{consensus.DiskRace{}, explore.Options{KeyFn: consensus.DiskRace{}.CanonicalKey, KeyTo: consensus.DiskRace{}.CanonicalKeyTo}, 3},
 	}
 	for _, a := range props {
+		a.opts.Obs = scope
 		oracle := valency.New(a.opts)
 		engine := adversary.New(oracle)
 		if _, err := engine.InitialBivalent(context.Background(), a.machine, a.n); err != nil {
@@ -154,7 +170,7 @@ func run(heavy bool) error {
 	fmt.Println("| inputs | configurations | bivalent | 0-univalent | 1-univalent | with decisions |")
 	fmt.Println("|---|---|---|---|---|---|")
 	for _, inputs := range [][]model.Value{{"0", "1"}, {"1", "1"}, {"0", "0"}} {
-		oracle := valency.New(explore.Options{})
+		oracle := valency.New(explore.Options{Obs: scope})
 		c := model.NewConfig(consensus.Flood{}, inputs)
 		rep, err := oracle.Profile(context.Background(), "flood", c, []int{0, 1})
 		if err != nil {
@@ -282,6 +298,7 @@ func run(heavy bool) error {
 			if err != nil {
 				return err
 			}
+			opts.Obs = scope
 			report, err := check.Consensus(context.Background(), m, row.n, check.Options{Explore: opts, SkipSolo: row.n > 2})
 			if err != nil {
 				return err

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	spacebound [-protocol diskrace] [-n 3] [-max-configs 0] [-workers 0] [-timeout 0] [-figures] [-transcript]
+//	           [-debug-addr host:port] [-trace-out trace.jsonl]
+//
+// -debug-addr starts the live observability endpoint (/debug/pprof,
+// /debug/vars, /progress) for watching or profiling a long construction;
+// -trace-out streams the construction's phase spans and exploration levels
+// as JSONL ("-" for stderr).
 //
 // Exit codes: 0 on a complete witness, 3 when a -timeout or -max-configs
 // budget interrupted the construction (the partial progress is printed to
@@ -22,6 +28,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/valency"
 )
@@ -47,6 +54,8 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole construction (0 = none)")
 	figures := flag.Bool("figures", false, "emit the witness as Graphviz DOT (paper Figure 4 style)")
 	transcript := flag.Bool("transcript", false, "print the full step-by-step execution")
+	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
+	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
 	flag.Parse()
 
 	m, opts, err := core.Machine(*protocol)
@@ -57,6 +66,16 @@ func run() error {
 		opts.MaxConfigs = *maxConfigs
 	}
 	opts.Workers = *workers
+	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopObs(); err != nil {
+			fmt.Fprintln(os.Stderr, "spacebound: observability shutdown:", err)
+		}
+	}()
+	opts.Obs = scope
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -73,8 +92,8 @@ func run() error {
 	fmt.Println()
 	fmt.Print(trace.CoverTable(w))
 	stats := engine.Oracle().Stats()
-	fmt.Printf("\nvalency oracle: %d queries (%d memoised), %d configurations searched\n",
-		stats.Queries, stats.Hits, stats.Configs)
+	fmt.Printf("\nvalency oracle: %d queries (%d memoised), %d solo searches (%d memoised), %d configurations searched\n",
+		stats.Queries, stats.Hits, stats.SoloQueries, stats.SoloHits, stats.Configs)
 
 	if *transcript {
 		initial := model.NewConfig(m, w.Inputs)

@@ -26,17 +26,24 @@ package adversary
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/valency"
 )
 
 // Engine runs the constructions for one protocol instance.
 type Engine struct {
 	oracle *valency.Oracle
+	// scope is the observability scope inherited from the oracle's
+	// exploration options: the lemma stages trace themselves as spans
+	// mirroring the paper's proof structure, and phase labels feed the
+	// /progress endpoint. nil (the default) disables all of it.
+	scope *obs.Scope
 	// prog records completed proof stages so an interrupted run can
 	// report its progress (see Partial). Entry points reset it.
 	prog progress
@@ -62,7 +69,12 @@ const DefaultProbeBudget = 1 << 16
 
 // New returns an engine backed by the given valency oracle.
 func New(oracle *valency.Oracle) *Engine {
-	return &Engine{oracle: oracle, maxRounds: DefaultMaxRounds, probeBudget: DefaultProbeBudget}
+	return &Engine{
+		oracle:      oracle,
+		scope:       oracle.Obs(),
+		maxRounds:   DefaultMaxRounds,
+		probeBudget: DefaultProbeBudget,
+	}
 }
 
 // Oracle exposes the engine's valency oracle (for reporting query counts).
@@ -76,6 +88,7 @@ func (e *Engine) InitialBivalent(ctx context.Context, m model.Machine, n int) (m
 	if n < 2 {
 		return model.Config{}, fmt.Errorf("adversary: need n >= 2 processes, got %d", n)
 	}
+	e.scope.SetPhase("proposition 2: initial bivalence (n=%d)", n)
 	inputs := make([]model.Value, n)
 	for i := range inputs {
 		inputs[i] = valency.V1
@@ -112,6 +125,19 @@ func (e *Engine) Lemma1(ctx context.Context, c model.Config, p []int) (model.Pat
 	if len(p) < 3 {
 		return nil, 0, fmt.Errorf("lemma 1: need |P| >= 3, got %d", len(p))
 	}
+	e.scope.SetPhase("lemma 1: peeling a process from |P|=%d", len(p))
+	sp := e.scope.StartSpan("lemma1", slog.Int("procs", len(p)))
+	phi, z, err := e.lemma1(ctx, c, p)
+	if err != nil {
+		sp.End(slog.String("err", err.Error()))
+		return nil, 0, err
+	}
+	sp.End(slog.Int("peeled", z), slog.Int("phi_steps", len(phi)))
+	return phi, z, nil
+}
+
+// lemma1 is Lemma1's worker; the wrapper traces it as one span per peel.
+func (e *Engine) lemma1(ctx context.Context, c model.Config, p []int) (model.Path, int, error) {
 
 	// Fast path: the lemma only asks for SOME z ∈ p with p-{z} bivalent
 	// from cφ, and bivalence has a short positive certificate (two
@@ -229,6 +255,19 @@ func (e *Engine) Lemma2(ctx context.Context, c model.Config, r []int, z int) (mo
 	if !ok {
 		return nil, 0, fmt.Errorf("lemma 2: not every process in %v covers a register", r)
 	}
+	e.scope.SetPhase("lemma 2: forcing p%d outside a %d-register cover", z, len(r))
+	sp := e.scope.StartSpan("lemma2", slog.Int("z", z), slog.Int("cover", len(r)))
+	zetaPrime, outside, err := e.lemma2(ctx, c, covered, z)
+	if err != nil {
+		sp.End(slog.String("err", err.Error()))
+		return nil, 0, err
+	}
+	sp.End(slog.Int("outside_register", outside), slog.Int("zeta_steps", len(zetaPrime)))
+	return zetaPrime, outside, nil
+}
+
+// lemma2 is Lemma2's worker over the already-validated cover set.
+func (e *Engine) lemma2(ctx context.Context, c model.Config, covered map[int]bool, z int) (model.Path, int, error) {
 	zeta, _, err := e.oracle.SoloDeciding(ctx, c, z)
 	if err != nil {
 		return nil, 0, fmt.Errorf("lemma 2: %w", err)
@@ -257,6 +296,19 @@ func (e *Engine) Lemma3(ctx context.Context, c model.Config, p, r []int) (model.
 	if _, ok := c.CoverSet(r); !ok {
 		return nil, 0, fmt.Errorf("lemma 3: not every process in %v covers a register in c", r)
 	}
+	e.scope.SetPhase("lemma 3: critical Q-only execution (|P|=%d, |R|=%d)", len(p), len(r))
+	sp := e.scope.StartSpan("lemma3", slog.Int("procs", len(p)), slog.Int("cover", len(r)))
+	phi, crit, err := e.lemma3(ctx, c, p, r)
+	if err != nil {
+		sp.End(slog.String("err", err.Error()))
+		return nil, 0, err
+	}
+	sp.End(slog.Int("q", crit), slog.Int("phi_steps", len(phi)))
+	return phi, crit, nil
+}
+
+// lemma3 is Lemma3's worker; the wrapper traces it as one span.
+func (e *Engine) lemma3(ctx context.Context, c model.Config, p, r []int) (model.Path, int, error) {
 	q := model.Without(p, r...)
 	if len(q) == 0 {
 		return nil, 0, fmt.Errorf("lemma 3: P-R is empty")

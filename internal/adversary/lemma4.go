@@ -3,6 +3,7 @@ package adversary
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"repro/internal/model"
@@ -49,7 +50,14 @@ func (e *Engine) Lemma4(ctx context.Context, c model.Config, p []int) (*Lemma4Re
 	} else if !biv {
 		return nil, fmt.Errorf("lemma 4: P=%v not bivalent from c", p)
 	}
-	return e.lemma4(ctx, c, p)
+	sp := e.scope.StartSpan("lemma4", slog.Int("procs", len(p)))
+	res, err := e.lemma4(ctx, c, p)
+	if err != nil {
+		sp.End(slog.String("err", err.Error()))
+		return nil, err
+	}
+	sp.End(slog.Int("rounds", res.Rounds), slog.Int("covered", len(res.Covered)))
+	return res, nil
 }
 
 // lemma4 is the recursive worker; the precondition (p bivalent from c) is
@@ -102,6 +110,16 @@ func (e *Engine) lemma4(ctx context.Context, c model.Config, p []int) (*Lemma4Re
 				i, len(cover), len(cur.r))
 		}
 		e.prog.forcedAtLeast(len(cover))
+		if e.scope.Enabled() {
+			e.scope.SetPhase("lemma 4: covering round %d (|P|=%d, %d registers covered)", i, len(p), len(cover))
+			e.scope.Counter("lemma4_rounds").Add(1)
+			e.scope.Event("lemma4_round",
+				slog.Int("procs", len(p)),
+				slog.Int("round", i),
+				slog.Int("covered", len(cover)),
+				slog.String("signature", sig),
+			)
+		}
 
 		if j, ok := seen[sig]; ok {
 			// Pigeonhole: rounds[j] and cur cover the same set V.
@@ -169,6 +187,9 @@ type coveringRound struct {
 // replay ψ_i α_{i+1} ... α_{j-1} to reach a configuration indistinguishable
 // from D_j to rest — in which z additionally covers a register outside V.
 func (e *Engine) spliceZ(ctx context.Context, rounds []coveringRound, i int, cur coveringRound, z int, rest []int) (*Lemma4Result, error) {
+	e.scope.SetPhase("lemma 4: pigeonhole splice of p%d between rounds %d and %d", z, i, len(rounds))
+	e.scope.Event("lemma4_splice",
+		slog.Int("z", z), slog.Int("round_i", i), slog.Int("round_j", len(rounds)))
 	ri := rounds[i]
 	afterPhi := model.RunPath(ri.config, ri.phi)
 

@@ -3,6 +3,7 @@ package adversary
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"repro/internal/explore"
@@ -79,6 +80,20 @@ func (w *Theorem1Witness) String() string {
 // that completed and the registers forced so far (use errors.As).
 func (e *Engine) Theorem1(ctx context.Context, m model.Machine, n int) (*Theorem1Witness, error) {
 	e.prog = progress{}
+	sp := e.scope.StartSpan("theorem1", slog.String("protocol", m.Name()), slog.Int("n", n))
+	w, err := e.theorem1(ctx, m, n)
+	if err != nil {
+		sp.End(slog.String("err", err.Error()))
+		return w, err
+	}
+	sp.End(slog.Int("registers", w.Registers), slog.Int("steps", len(w.Execution)))
+	e.scope.SetPhase("theorem 1 complete: %d registers witnessed (n=%d)", w.Registers, n)
+	return w, nil
+}
+
+// theorem1 is Theorem1's worker; the wrapper traces the whole construction
+// as one span.
+func (e *Engine) theorem1(ctx context.Context, m model.Machine, n int) (*Theorem1Witness, error) {
 	initial, err := e.InitialBivalent(ctx, m, n)
 	if err != nil {
 		return nil, e.partial(m.Name(), n, err)

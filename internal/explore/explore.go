@@ -37,6 +37,7 @@ import (
 	"runtime"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // ErrCapped is returned (wrapped) when exploration hits a configured cap
@@ -77,6 +78,12 @@ type Options struct {
 	// GOMAXPROCS; 1 forces single-threaded expansion. Worker count never
 	// changes the number of configurations visited per level.
 	Workers int
+	// Obs, when non-nil, receives per-level progress (frontier size,
+	// dedup hits, cumulative configurations) for the live observability
+	// layer. nil is the no-op default: the search pays one nil-check per
+	// BFS level, never per configuration (the allocation-regression tests
+	// guard this).
+	Obs *obs.Scope
 }
 
 // ConfigKey returns the state identity of c under these options, in its
@@ -268,8 +275,10 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 		// Merge the chunks in their deterministic order: IDs, visit
 		// order and caps do not depend on the worker count.
 		next = next[:0]
+		levelDups := 0
 		for _, ch := range chunks {
 			res.Steps += ch.dupSteps
+			levelDups += ch.dupSteps
 			for i := range ch.slots {
 				sl := &ch.slots[i]
 				res.Steps++
@@ -292,6 +301,15 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 				}
 				next = append(next, levelEntry{cfg: sl.cfg, id: id})
 			}
+		}
+		if opts.Obs != nil {
+			opts.Obs.ExploreLevel(obs.Level{
+				Depth:    int(depth) + 1,
+				Frontier: len(next),
+				Dup:      levelDups,
+				Configs:  res.Count,
+				Steps:    res.Steps,
+			})
 		}
 		// Swap the level buffers: the consumed level's entries were
 		// overwritten by next[:0] appends or go out of live reach here,

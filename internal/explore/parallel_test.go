@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // forcePool shrinks the fan-out thresholds so even the tiny state spaces of
@@ -231,4 +232,39 @@ func TestReachPeakFrontierReported(t *testing.T) {
 	if res.PeakFrontier < 2 {
 		t.Fatalf("PeakFrontier = %d, want >= 2", res.PeakFrontier)
 	}
+}
+
+// TestReachEnabledScopeKeepsAllocBound re-runs the live-heap regression
+// with a metrics-enabled observability scope attached: instrumentation is
+// per-level, so even on the pathological one-config-per-level chain the
+// allocation budget must hold. The counters it leaves behind double as a
+// correctness check of the per-level accounting.
+func TestReachEnabledScopeKeepsAllocBound(t *testing.T) {
+	const depth = 2000
+	c := model.NewConfig(chainMachine{}, []model.Value{model.Value(fmt.Sprintf("%d", depth))})
+	scope := obs.NewScope(nil)
+	var res *Result
+	allocs := testing.AllocsPerRun(3, func() {
+		var err error
+		res, err = Reach(context.Background(), c, []int{0}, Options{Workers: 1, Obs: scope}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	perConfig := allocs / float64(res.Count)
+	if perConfig > 16 {
+		t.Fatalf("%.1f allocations per configuration with observability on (total %.0f for %d configs); instrumentation has entered the per-configuration path",
+			perConfig, allocs, res.Count)
+	}
+	snap := scope.Registry().Snapshot()
+	// 4 runs of depth+1 configurations each (the initial configuration is
+	// not a level's frontier entry, so each run accounts depth of them).
+	if got := snap["explore_configs"]; got != int64(4*depth) {
+		t.Fatalf("explore_configs = %v, want %d", got, 4*depth)
+	}
+	// The deepest recorded level is the empty one past the chain's end.
+	if got := snap["explore_depth"]; got != int64(depth+1) {
+		t.Fatalf("explore_depth = %v, want %d", got, depth+1)
+	}
+	t.Logf("%.2f allocs/config with metrics scope enabled", perConfig)
 }

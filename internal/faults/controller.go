@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Controller enforces a Plan on live goroutines via per-process gates. Every
@@ -35,6 +37,7 @@ type Controller struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	rng  *rand.Rand
+	obs  *obs.Scope
 
 	n        int
 	burstMax int
@@ -86,6 +89,15 @@ func NewController(n int, plan Plan) (*Controller, error) {
 	c.advance()
 	c.mu.Unlock()
 	return c, nil
+}
+
+// SetObs attaches an observability scope: every fault the controller fires
+// on a live goroutine becomes a trace event, timestamped with the global
+// operation count. Call before the run starts; nil stays the no-op default.
+func (c *Controller) SetObs(s *obs.Scope) {
+	c.mu.Lock()
+	c.obs = s
+	c.mu.Unlock()
 }
 
 // GlobalOps returns the number of gated operations completed so far.
@@ -140,6 +152,7 @@ func (c *Controller) Acquire(pid int, isWrite bool) error {
 		for ps.cursor < len(ps.events) && ps.events[ps.cursor].Step <= ps.ops {
 			ev := ps.events[ps.cursor]
 			ps.cursor++
+			injectEvent(c.obs, ev, c.globalOps)
 			switch ev.Kind {
 			case CrashStop:
 				ps.crashed = true
@@ -246,12 +259,13 @@ func (c *Controller) hasPendingRevive(pid int) bool {
 // hold mu.
 func (c *Controller) processRevives() {
 	for c.revCur < len(c.revives) && c.revives[c.revCur].Step <= c.globalOps {
-		pid := c.revives[c.revCur].Pid
+		ev := c.revives[c.revCur]
 		c.revCur++
-		ps := &c.procs[pid]
+		ps := &c.procs[ev.Pid]
 		if ps.crashed && !ps.exited {
 			ps.crashed = false
 			ps.crashNext = false
+			injectEvent(c.obs, ev, c.globalOps)
 		}
 	}
 }

@@ -1,12 +1,16 @@
 package faults
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/consensus"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 func TestPlanValidate(t *testing.T) {
@@ -205,4 +209,54 @@ func TestRunModelCrashDuringCoin(t *testing.T) {
 		}
 	}
 	t.Fatalf("no swept plan crashed a process poised on a coin flip")
+}
+
+// TestRunModelObsEvents: with an observability scope attached, every fired
+// fault becomes a trace event and a per-kind counter bump, revives included
+// (only actual revivals are recorded, never consumed no-ops).
+func TestRunModelObsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	scope := obs.NewScope(obs.NewTracer(&buf))
+	plan := Plan{
+		Name: "observed",
+		Seed: 7,
+		Events: []Event{
+			{Kind: Stall, Pid: 1, Step: 0, Duration: 10},
+			{Kind: CrashStop, Pid: 0, Step: 2},
+			{Kind: Revive, Pid: 0, Step: 40},
+		},
+	}
+	rep, err := RunModel(model.NewConfig(consensus.Flood{}, []model.Value{"0", "1"}), plan, RunOptions{
+		MaxSteps: 200,
+		Obs:      scope,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", rep.Stalls)
+	}
+	snap := scope.Registry().Snapshot()
+	if snap["faults_injected_stall"] != int64(1) || snap["faults_injected_crash-stop"] != int64(1) {
+		t.Fatalf("fault counters = %v", snap)
+	}
+	if got, want := snap["faults_injected_revive"], int64(1); got != want {
+		t.Fatalf("revive counter = %v, want %v", got, want)
+	}
+	events := 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line is not JSON: %v\n%s", err, line)
+		}
+		if rec["msg"] == "fault_inject" {
+			events++
+			if rec["kind"] == nil || rec["pid"] == nil || rec["step"] == nil {
+				t.Fatalf("fault_inject event missing attributes: %v", rec)
+			}
+		}
+	}
+	if events != 3 {
+		t.Fatalf("%d fault_inject events, want 3 (stall + crash + revive)", events)
+	}
 }

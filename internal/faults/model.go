@@ -2,10 +2,12 @@ package faults
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // RunOptions bound one model-runtime plan execution.
@@ -23,6 +25,9 @@ type RunOptions struct {
 	// is what makes obstruction-free protocols terminate under the
 	// injected schedules.
 	Burst int
+	// Obs, when non-nil, records every fault injection as a trace event
+	// and counter bump (nil = no-op, the default).
+	Obs *obs.Scope
 }
 
 // DefaultMaxSteps bounds a model-runtime plan execution when
@@ -124,14 +129,15 @@ func RunModel(c model.Config, plan Plan, opts RunOptions) (*Report, error) {
 	reviveCursor := 0
 	processRevives := func() {
 		for reviveCursor < len(revives) && revives[reviveCursor].Step <= step {
-			pid := revives[reviveCursor].Pid
-			if procs[pid].crashed {
+			ev := revives[reviveCursor]
+			if procs[ev.Pid].crashed {
 				// Revival after a half-completed write is safe: the
 				// local state is still poised on the write, so the
 				// process simply re-issues it.
-				procs[pid].crashed = false
-				procs[pid].halfWrite = false
-				delete(rep.Crashed, pid)
+				procs[ev.Pid].crashed = false
+				procs[ev.Pid].halfWrite = false
+				delete(rep.Crashed, ev.Pid)
+				injectEvent(opts.Obs, ev, step)
 			}
 			reviveCursor++
 		}
@@ -198,6 +204,7 @@ func RunModel(c model.Config, plan Plan, opts RunOptions) (*Report, error) {
 		for ps.cursor < len(perPid[pid]) && perPid[pid][ps.cursor].Step <= ps.ops {
 			ev := perPid[pid][ps.cursor]
 			ps.cursor++
+			injectEvent(opts.Obs, ev, step)
 			switch ev.Kind {
 			case CrashStop:
 				ps.crashed = true
@@ -259,4 +266,18 @@ func RunModel(c model.Config, plan Plan, opts RunOptions) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// injectEvent records one fired fault event on the observability scope: a
+// per-kind counter bump and a trace event carrying the injection point.
+func injectEvent(s *obs.Scope, ev Event, step int) {
+	if !s.Enabled() {
+		return
+	}
+	s.Counter("faults_injected_" + ev.Kind.String()).Add(1)
+	s.Event("fault_inject",
+		slog.String("kind", ev.Kind.String()),
+		slog.Int("pid", ev.Pid),
+		slog.Int("step", step),
+	)
 }

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+)
+
+// Handler returns the debug mux for a scope:
+//
+//	/debug/pprof/*  — the standard Go profiler endpoints
+//	/debug/vars     — expvar-compatible JSON: process expvars (cmdline,
+//	                  memstats) merged with the scope's metric registry
+//	/progress       — the live Progress snapshot (phase, frontier depth,
+//	                  elapsed, ETA from level growth)
+//
+// The handler is safe to mount while the engine runs; every read is a
+// lock-free or briefly-locked snapshot.
+func Handler(s *Scope) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeVars(w, s)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Progress().Snapshot())
+	})
+	return mux
+}
+
+// writeVars renders the expvar-compatible /debug/vars document: every
+// process-level expvar (cmdline, memstats) followed by the scope's metrics
+// as top-level keys.
+func writeVars(w io.Writer, s *Scope) {
+	fmt.Fprintf(w, "{")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",")
+		}
+		first = false
+		fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value)
+	})
+	for k, v := range s.Registry().Snapshot() {
+		data, err := json.Marshal(v)
+		if err != nil {
+			continue
+		}
+		if !first {
+			fmt.Fprintf(w, ",")
+		}
+		first = false
+		fmt.Fprintf(w, "\n%q: %s", k, data)
+	}
+	fmt.Fprintf(w, "\n}\n")
+}
+
+// Server is a running debug HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug endpoint on addr (host:port; :0 picks a free
+// port) and serves it in a background goroutine until Close.
+func Serve(addr string, s *Scope) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(s), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with :0).
+func (sv *Server) Addr() string { return sv.ln.Addr().String() }
+
+// Close stops the server. Safe on nil.
+func (sv *Server) Close() error {
+	if sv == nil {
+		return nil
+	}
+	return sv.srv.Close()
+}
+
+// Config is the command-line surface of the observability layer, shared by
+// cmd/spacebound, cmd/experiments and cmd/benchreport.
+type Config struct {
+	// TraceOut, when non-empty, is the JSONL trace destination ("-" for
+	// stderr).
+	TraceOut string
+	// DebugAddr, when non-empty, is the listen address of the debug HTTP
+	// endpoint.
+	DebugAddr string
+}
+
+// enabled reports whether any backend was requested.
+func (c Config) enabled() bool { return c.TraceOut != "" || c.DebugAddr != "" }
+
+// Start builds a scope from the config and returns it with a shutdown
+// function. When the config requests nothing, the scope is nil — the
+// engine-wide no-op — and shutdown does nothing; commands therefore call
+// Start unconditionally. The debug endpoint's bound address is announced on
+// stderr so a user who passed :0 can find it.
+func Start(cfg Config) (*Scope, func() error, error) {
+	if !cfg.enabled() {
+		return nil, func() error { return nil }, nil
+	}
+	var tr *Tracer
+	if cfg.TraceOut != "" {
+		w := io.Writer(os.Stderr)
+		if cfg.TraceOut != "-" {
+			f, err := os.Create(cfg.TraceOut)
+			if err != nil {
+				return nil, nil, fmt.Errorf("obs: trace output: %w", err)
+			}
+			w = f
+		}
+		tr = NewTracer(w)
+	}
+	scope := NewScope(tr)
+	var srv *Server
+	if cfg.DebugAddr != "" {
+		var err error
+		srv, err = Serve(cfg.DebugAddr, scope)
+		if err != nil {
+			_ = tr.Close()
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "obs: debug endpoint on http://%s (/debug/pprof, /debug/vars, /progress)\n", srv.Addr())
+	}
+	shutdown := func() error {
+		err := srv.Close()
+		if cerr := tr.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return scope, shutdown, nil
+}

@@ -1,0 +1,266 @@
+// Package obs is the live observability layer of the proof engine: a
+// lock-cheap metrics registry, structured span/event tracing, and an
+// optional debug HTTP endpoint (/debug/pprof, /debug/vars, /progress).
+//
+// The proof engine runs minutes-long adversarial constructions with no
+// output between launch and verdict; valency.Stats and explore.Result are
+// terminal snapshots. This package makes the run watchable while it is
+// happening — frontier growth, memo hit rates, phase progress — and
+// profilable when it is stuck, without touching the hot path when disabled.
+//
+// Everything hangs off a *Scope. A nil *Scope is the universal no-op: every
+// method is nil-receiver safe, so instrumented code pays exactly one
+// nil-check per instrumentation site when observability is off (guarded by
+// the explore allocation-regression tests). The packages it instruments
+// stage their work the way Zhu's proof does — Lemmas 1-4 as named phases
+// over configurations — so the spans and phase labels mirror the paper's
+// structure.
+//
+// The package depends only on the standard library.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter is
+// a no-op, so callers may hold unconditional pointers resolved from a
+// possibly-absent registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Max raises the gauge to v if v exceeds the current value (a high-water
+// mark under concurrent writers).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets: counts[i] holds
+// observations v <= bounds[i], the final bucket holds the overflow. Bounds
+// are fixed at creation so Observe is bound-scan plus one atomic add — no
+// locks, no allocation.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// snapshot renders the histogram as a JSON-marshallable value: bucket
+// upper-bound label -> count, plus count and sum.
+func (h *Histogram) snapshot() map[string]int64 {
+	out := make(map[string]int64, len(h.bounds)+3)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		label := "+inf"
+		if i < len(h.bounds) {
+			label = fmt.Sprintf("le_%d", h.bounds[i])
+		}
+		out[label] = c
+	}
+	out["count"] = h.n.Load()
+	out["sum"] = h.sum.Load()
+	return out
+}
+
+// Registry is a named metric store. Lookups take one mutex acquisition and
+// are expected at instrumentation-setup time, not per operation: hot paths
+// resolve their Counter/Gauge pointers once and hold them. The registry
+// renders as expvar-compatible JSON (a flat {"name": value} object) for
+// /debug/vars and for embedding in benchmark reports.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns nil (which is itself a no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a point-in-time JSON-marshallable view of every metric:
+// counters and gauges as integers, histograms as bucket maps.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name] = h.snapshot()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as a deterministic (key-sorted) JSON
+// object, the expvar-compatible rendering served under /debug/vars.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		v, err := json.Marshal(snap[k])
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "\n%q: %s", k, v); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}

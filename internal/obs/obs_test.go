@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilScopeIsUniversalNoOp pins the package's core contract: every
+// instrument is callable on its nil receiver, so disabled observability
+// needs no conditionals beyond the one nil-check inside each method.
+func TestNilScopeIsUniversalNoOp(t *testing.T) {
+	var s *Scope
+	if s.Enabled() {
+		t.Fatal("nil scope reports enabled")
+	}
+	s.Counter("c").Add(1)
+	s.Gauge("g").Set(7)
+	s.Gauge("g").Max(9)
+	s.Histogram("h", LevelSizeBounds).Observe(3)
+	sp := s.StartSpan("span", slog.Int("k", 1))
+	sp.End(slog.Int("k", 2))
+	s.Event("event")
+	s.SetPhase("phase %d", 1)
+	s.ExploreLevel(Level{Depth: 1, Frontier: 10})
+	if s.Registry() != nil || s.Tracer() != nil || s.Progress() != nil {
+		t.Fatal("nil scope leaked a non-nil backend")
+	}
+	if got := s.Progress().Snapshot(); got.EtaSec != -1 {
+		t.Fatalf("nil progress snapshot = %+v, want EtaSec -1", got)
+	}
+	var tr *Tracer
+	tr.Event("e")
+	tr.StartSpan("s").End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var reg *Registry
+	reg.Counter("c").Add(1)
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	var sv *Server
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistrySnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries").Add(3)
+	r.Counter("queries").Add(2)
+	r.Gauge("depth").Set(4)
+	r.Gauge("peak").Max(10)
+	r.Gauge("peak").Max(7) // must not lower the high-water mark
+	h := r.Histogram("sizes", []int64{1, 4, 16})
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+
+	snap := r.Snapshot()
+	if snap["queries"] != int64(5) || snap["depth"] != int64(4) || snap["peak"] != int64(10) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	hist, ok := snap["sizes"].(map[string]int64)
+	if !ok {
+		t.Fatalf("histogram snapshot has type %T", snap["sizes"])
+	}
+	if hist["le_1"] != 1 || hist["le_4"] != 2 || hist["+inf"] != 1 || hist["count"] != 4 || hist["sum"] != 106 {
+		t.Fatalf("histogram buckets = %v", hist)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("WriteJSON output is not JSON: %v\n%s", err, buf.String())
+	}
+	if parsed["queries"] != float64(5) {
+		t.Fatalf("parsed queries = %v", parsed["queries"])
+	}
+	// Same-name lookups return the same instrument.
+	if r.Counter("queries") != r.Counter("queries") {
+		t.Fatal("counter lookup is not idempotent")
+	}
+}
+
+// TestMetricsConcurrent exercises the atomic paths under the race detector
+// (CI runs this package with -race).
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Add(1)
+				r.Gauge("g").Max(int64(i*1000 + j))
+				r.Histogram("h", LevelSizeBounds).Observe(int64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 7999 {
+		t.Fatalf("max gauge = %d, want 7999", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+// traceRecords parses a JSONL trace buffer into one map per record.
+func traceRecords(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line is not JSON: %v\n%s", err, line)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sp := tr.StartSpan("lemma1", slog.Int("procs", 3))
+	tr.Event("probe", slog.String("outcome", "exhausted"))
+	sp.End(slog.Int("peeled", 1))
+
+	recs := traceRecords(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	if recs[0]["t"] != "span_start" || recs[0]["msg"] != "lemma1" || recs[0]["procs"] != float64(3) {
+		t.Fatalf("span_start = %v", recs[0])
+	}
+	if recs[1]["t"] != "event" || recs[1]["outcome"] != "exhausted" {
+		t.Fatalf("event = %v", recs[1])
+	}
+	if recs[2]["t"] != "span_end" || recs[2]["peeled"] != float64(1) {
+		t.Fatalf("span_end = %v", recs[2])
+	}
+	if recs[0]["span"] != recs[2]["span"] {
+		t.Fatalf("span ids do not link: start %v, end %v", recs[0]["span"], recs[2]["span"])
+	}
+	if _, ok := recs[2]["dur_ms"].(float64); !ok {
+		t.Fatalf("span_end missing dur_ms: %v", recs[2])
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	p := NewProgress()
+	if got := p.Snapshot().EtaSec; got != -1 {
+		t.Fatalf("fresh progress ETA = %v, want -1 (too early)", got)
+	}
+	p.Level(1, 100, 100)
+	p.Level(2, 400, 400) // growing: refuse to extrapolate
+	if got := p.Snapshot().EtaSec; got != -1 {
+		t.Fatalf("growing-frontier ETA = %v, want -1", got)
+	}
+	p.Level(3, 200, 200) // shrinking at r=0.5: finite estimate
+	s := p.Snapshot()
+	if s.EtaSec <= 0 {
+		t.Fatalf("shrinking-frontier ETA = %v, want > 0", s.EtaSec)
+	}
+	if s.PeakFrontier != 400 || s.FrontierDepth != 3 || s.Configs != 700 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestScopeExploreLevel(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewScope(NewTracer(&buf))
+	s.SetPhase("lemma %d", 4)
+	s.ExploreLevel(Level{Depth: 1, Frontier: 10, Dup: 3, Configs: 11, Steps: 20})
+	s.ExploreLevel(Level{Depth: 2, Frontier: 4, Dup: 9, Configs: 15, Steps: 40})
+
+	snap := s.Registry().Snapshot()
+	if snap["explore_configs"] != int64(14) || snap["explore_dedup_hits"] != int64(12) {
+		t.Fatalf("cumulative counters = %v", snap)
+	}
+	if snap["explore_depth"] != int64(2) || snap["explore_frontier"] != int64(4) || snap["explore_peak_frontier"] != int64(10) {
+		t.Fatalf("gauges = %v", snap)
+	}
+	ps := s.Progress().Snapshot()
+	if ps.Phase != "lemma 4" || ps.FrontierDepth != 2 || ps.PeakFrontier != 10 {
+		t.Fatalf("progress = %+v", ps)
+	}
+	recs := traceRecords(t, &buf)
+	if len(recs) != 3 || recs[0]["msg"] != "phase" || recs[1]["msg"] != "explore_level" {
+		t.Fatalf("trace = %v", recs)
+	}
+}
+
+func TestHandlerProgressAndVars(t *testing.T) {
+	s := NewScope(nil)
+	s.SetPhase("testing")
+	s.Counter("valency_queries").Add(42)
+	s.ExploreLevel(Level{Depth: 3, Frontier: 17, Configs: 20})
+
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var prog Snapshot
+	if err := json.Unmarshal(get("/progress"), &prog); err != nil {
+		t.Fatalf("/progress is not JSON: %v", err)
+	}
+	// Progress counts configurations as the sum of fresh-per-level
+	// frontiers, so one level of 17 fresh configurations reads 17.
+	if prog.Phase != "testing" || prog.FrontierDepth != 3 || prog.Configs != 17 {
+		t.Fatalf("/progress = %+v", prog)
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars["valency_queries"] != float64(42) {
+		t.Fatalf("/debug/vars missing registry metric: %v", vars["valency_queries"])
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatal("/debug/vars missing process expvars (memstats)")
+	}
+
+	if got := get("/debug/pprof/cmdline"); len(got) == 0 {
+		t.Fatal("/debug/pprof/cmdline returned nothing")
+	}
+}
+
+func TestStartDisabledAndFileTrace(t *testing.T) {
+	scope, stop, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scope != nil {
+		t.Fatal("empty config produced a non-nil scope")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/trace.jsonl"
+	scope, stop, err = Start(Config{TraceOut: path, DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope.StartSpan("s").End()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"t":"span_start"`)) {
+		t.Fatalf("trace file missing span records:\n%s", data)
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+)
+
+// Scope bundles the three observability backends — metrics registry,
+// tracer, progress — behind one pointer that instrumented packages thread
+// through their options. A nil *Scope is the disabled state: every method
+// is nil-receiver safe and returns immediately, so the engine's hot paths
+// pay one nil-check per instrumentation site (per BFS level, per oracle
+// query — never per configuration).
+type Scope struct {
+	reg  *Registry
+	tr   *Tracer
+	prog *Progress
+}
+
+// NewScope returns an enabled scope with a fresh registry and progress
+// tracker. tr may be nil for a metrics-only scope (no trace output).
+func NewScope(tr *Tracer) *Scope {
+	return &Scope{reg: NewRegistry(), tr: tr, prog: NewProgress()}
+}
+
+// Enabled reports whether the scope records anything.
+func (s *Scope) Enabled() bool { return s != nil }
+
+// Registry exposes the metrics registry (nil when disabled; the nil
+// registry hands out nil, no-op metrics).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Progress exposes the progress tracker (nil when disabled).
+func (s *Scope) Progress() *Progress {
+	if s == nil {
+		return nil
+	}
+	return s.prog
+}
+
+// Tracer exposes the tracer (nil when disabled or metrics-only).
+func (s *Scope) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Counter resolves a named counter; instrumentation sites resolve once and
+// hold the pointer (the nil pointer from a nil scope stays a no-op).
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Counter(name)
+}
+
+// Gauge resolves a named gauge.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Gauge(name)
+}
+
+// Histogram resolves a named histogram.
+func (s *Scope) Histogram(name string, bounds []int64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Histogram(name, bounds)
+}
+
+// StartSpan opens a trace span (no-op *Span when disabled) and counts it.
+func (s *Scope) StartSpan(name string, attrs ...slog.Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	s.prog.spans.Add(1)
+	s.reg.Counter("trace_spans").Add(1)
+	return s.tr.StartSpan(name, attrs...)
+}
+
+// Event emits a trace event (dropped when disabled or metrics-only).
+func (s *Scope) Event(name string, attrs ...slog.Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.Event(name, attrs...)
+}
+
+// SetPhase records the engine's current proof stage for /progress and
+// mirrors it as a trace event.
+func (s *Scope) SetPhase(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	phase := fmt.Sprintf(format, args...)
+	s.prog.SetPhase(phase)
+	s.tr.Event("phase", slog.String("phase", phase))
+}
+
+// Level describes one completed BFS level of an exploration, the unit at
+// which the engine reports (internal/explore calls ExploreLevel once per
+// level, whatever the level's size).
+type Level struct {
+	// Depth is the BFS depth just completed; Frontier the number of fresh
+	// configurations discovered at that depth (the next level's size).
+	Depth    int
+	Frontier int
+	// Dup counts transitions that landed on already-visited
+	// configurations while expanding this level.
+	Dup int
+	// Configs and Steps are the exploration's cumulative totals.
+	Configs int
+	Steps   int
+}
+
+// ExploreLevel records one completed BFS level: gauges for the live view,
+// counters for the cumulative totals, a histogram of level sizes, and a
+// trace event. Called once per level; per-configuration work is never
+// instrumented.
+func (s *Scope) ExploreLevel(l Level) {
+	if s == nil {
+		return
+	}
+	s.reg.Gauge("explore_depth").Set(int64(l.Depth))
+	s.reg.Gauge("explore_frontier").Set(int64(l.Frontier))
+	s.reg.Gauge("explore_peak_frontier").Max(int64(l.Frontier))
+	s.reg.Counter("explore_configs").Add(int64(l.Frontier))
+	s.reg.Counter("explore_dedup_hits").Add(int64(l.Dup))
+	s.reg.Histogram("explore_level_size", LevelSizeBounds).Observe(int64(l.Frontier))
+	s.prog.Level(l.Depth, l.Frontier, l.Frontier)
+	s.tr.Event("explore_level",
+		slog.Int("depth", l.Depth),
+		slog.Int("frontier", l.Frontier),
+		slog.Int("dedup_hits", l.Dup),
+		slog.Int("configs", l.Configs),
+	)
+}
+
+// LevelSizeBounds are the fixed buckets of the explore_level_size
+// histogram: powers of four spanning one configuration to the largest
+// frontiers the engine has met.
+var LevelSizeBounds = []int64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}

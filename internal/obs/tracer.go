@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer emits structured spans and events as JSONL: one slog JSON record
+// per line, written to the -trace-out destination. Records carry a "t"
+// attribute ("span_start", "span_end" or "event"), the span/event name as
+// the message, and a process-unique span id linking start to end, so a
+// trace is greppable by hand and trivially parseable by tools.
+//
+// A nil *Tracer is a no-op (as is a nil *Scope above it); an enabled tracer
+// costs one slog record per span edge or event, which instrumented code
+// only pays at phase granularity (lemma stages, BFS levels, oracle
+// searches), never per configuration.
+type Tracer struct {
+	log *slog.Logger
+	ids atomic.Uint64
+
+	mu     sync.Mutex
+	closer io.Closer
+}
+
+// NewTracer returns a tracer writing JSONL to w. If w is also an io.Closer,
+// Close closes it.
+func NewTracer(w io.Writer) *Tracer {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	t := &Tracer{log: slog.New(h)}
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	return t
+}
+
+// Close releases the underlying writer, if it is closable. Safe on nil.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closer == nil {
+		return nil
+	}
+	err := t.closer.Close()
+	t.closer = nil
+	return err
+}
+
+// Span is one open span. The zero of *Span (nil) is the no-op span handed
+// out by disabled scopes; End on it does nothing.
+type Span struct {
+	tr    *Tracer
+	name  string
+	id    uint64
+	start time.Time
+}
+
+// StartSpan opens a span and emits its span_start record. Safe on nil.
+func (t *Tracer) StartSpan(name string, attrs ...slog.Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tr: t, name: name, id: t.ids.Add(1), start: time.Now()}
+	all := append([]slog.Attr{
+		slog.String("t", "span_start"),
+		slog.Uint64("span", sp.id),
+	}, attrs...)
+	t.log.LogAttrs(context.Background(), slog.LevelInfo, name, all...)
+	return sp
+}
+
+// End closes the span, emitting its span_end record with the wall-clock
+// duration and any closing attributes. Safe on nil.
+func (sp *Span) End(attrs ...slog.Attr) {
+	if sp == nil {
+		return
+	}
+	all := append([]slog.Attr{
+		slog.String("t", "span_end"),
+		slog.Uint64("span", sp.id),
+		slog.Float64("dur_ms", float64(time.Since(sp.start).Microseconds())/1000),
+	}, attrs...)
+	sp.tr.log.LogAttrs(context.Background(), slog.LevelInfo, sp.name, all...)
+}
+
+// Event emits a single instantaneous record. Safe on nil.
+func (t *Tracer) Event(name string, attrs ...slog.Attr) {
+	if t == nil {
+		return
+	}
+	all := append([]slog.Attr{slog.String("t", "event")}, attrs...)
+	t.log.LogAttrs(context.Background(), slog.LevelInfo, name, all...)
+}

@@ -28,10 +28,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"slices"
 
 	"repro/internal/explore"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Binary consensus values, as in the paper.
@@ -100,6 +102,34 @@ type Oracle struct {
 	opts  explore.Options
 	memo  *Memo
 	stats Stats
+	// metrics are the oracle's live counters, resolved once at
+	// construction from opts.Obs; with observability disabled every
+	// pointer is nil and each Add is a single nil-check (per query, never
+	// per configuration).
+	metrics oracleMetrics
+}
+
+// oracleMetrics mirrors Stats into the observability registry, live, so
+// /debug/vars shows memo hit rates mid-run instead of a terminal snapshot.
+type oracleMetrics struct {
+	queries, hits         *obs.Counter
+	soloQueries, soloHits *obs.Counter
+	configs               *obs.Counter
+	queryConfigs          *obs.Histogram
+}
+
+func newOracleMetrics(s *obs.Scope) oracleMetrics {
+	if !s.Enabled() {
+		return oracleMetrics{}
+	}
+	return oracleMetrics{
+		queries:      s.Counter("valency_queries"),
+		hits:         s.Counter("valency_memo_hits"),
+		soloQueries:  s.Counter("valency_solo_queries"),
+		soloHits:     s.Counter("valency_solo_hits"),
+		configs:      s.Counter("valency_configs"),
+		queryConfigs: s.Histogram("valency_query_configs", obs.LevelSizeBounds),
+	}
 }
 
 // Stats reports the work an oracle has done, for the experiment tables.
@@ -158,11 +188,15 @@ func New(opts explore.Options) *Oracle {
 // NewWithMemo returns an oracle sharing the given memo table. All oracles
 // sharing a memo must use identical exploration options.
 func NewWithMemo(opts explore.Options, memo *Memo) *Oracle {
-	return &Oracle{opts: opts, memo: memo}
+	return &Oracle{opts: opts, memo: memo, metrics: newOracleMetrics(opts.Obs)}
 }
 
 // Stats returns a copy of the oracle's work counters.
 func (o *Oracle) Stats() Stats { return o.stats }
+
+// Obs returns the observability scope the oracle's exploration options
+// carry (nil when disabled); the adversary engine traces through it.
+func (o *Oracle) Obs() *obs.Scope { return o.opts.Obs }
 
 func (o *Oracle) queryKey(c model.Config, p []int) (queryKey, error) {
 	var mask uint64
@@ -226,6 +260,8 @@ func (o *Oracle) exploreDecidable(ctx context.Context, c model.Config, p []int, 
 		return !(verdict.Decidable[V0] && verdict.Decidable[V1])
 	})
 	o.stats.Configs += res.Count
+	o.metrics.configs.Add(int64(res.Count))
+	o.metrics.queryConfigs.Observe(int64(res.Count))
 	for val, id := range witnessIDs {
 		path, ok := res.PathTo(id)
 		if !ok {
@@ -244,12 +280,14 @@ func (o *Oracle) Decidable(ctx context.Context, c model.Config, p []int) (*Verdi
 		return nil, fmt.Errorf("valency: empty process set")
 	}
 	o.stats.Queries++
+	o.metrics.queries.Add(1)
 	key, err := o.queryKey(c, p)
 	if err != nil {
 		return nil, err
 	}
 	if v, ok := o.memo.verdicts[key]; ok {
 		o.stats.Hits++
+		o.metrics.hits.Add(1)
 		return v, nil
 	}
 	verdict := newVerdict()
@@ -262,7 +300,10 @@ func (o *Oracle) Decidable(ctx context.Context, c model.Config, p []int) (*Verdi
 		o.memo.verdicts[key] = verdict
 		return verdict, nil
 	}
+	sp := o.opts.Obs.StartSpan("valency_decidable", slog.Int("procs", len(p)))
+	before := o.stats.Configs
 	err = o.exploreDecidable(ctx, c, p, o.opts, verdict)
+	sp.End(slog.Int("configs", o.stats.Configs-before), slog.Bool("bivalent", verdict.Bivalent()))
 	// A capped search that already proved bivalence is still exact:
 	// decidable sets only grow, and {0,1} is maximal.
 	if err != nil && !verdict.Bivalent() {
@@ -289,12 +330,15 @@ func (o *Oracle) ProbeBivalent(ctx context.Context, c model.Config, p []int, bud
 		return false, fmt.Errorf("valency: empty process set")
 	}
 	o.stats.Queries++
+	o.metrics.queries.Add(1)
 	key, err := o.queryKey(c, p)
 	if err != nil {
 		return false, err
 	}
 	if v, ok := o.memo.verdicts[key]; ok {
 		o.stats.Hits++
+		o.metrics.hits.Add(1)
+		o.probeOutcome(p, "memo", v.Bivalent())
 		return v.Bivalent(), nil
 	}
 	verdict := newVerdict()
@@ -303,6 +347,7 @@ func (o *Oracle) ProbeBivalent(ctx context.Context, c model.Config, p []int, bud
 	}
 	if verdict.Bivalent() {
 		o.memo.verdicts[key] = verdict
+		o.probeOutcome(p, "solo-certificate", true)
 		return true, nil
 	}
 	opts := o.opts
@@ -315,19 +360,38 @@ func (o *Oracle) ProbeBivalent(ctx context.Context, c model.Config, p []int, bud
 	switch {
 	case verdict.Bivalent():
 		o.memo.verdicts[key] = verdict
+		o.probeOutcome(p, "search-certificate", true)
 		return true, nil
 	case err == nil:
 		// The p-only space was exhausted within budget: the verdict is
 		// exact (and not bivalent), so memoise it like Decidable would.
 		o.memo.verdicts[key] = verdict
+		o.probeOutcome(p, "exhausted", false)
 		return false, nil
 	case ctx.Err() != nil:
 		return false, fmt.Errorf("valency probe |P|=%d: %w", len(p), err)
 	default:
 		// Budget exhausted without a certificate: inconclusive, leave
 		// the memo empty for a future exhaustive query.
+		o.probeOutcome(p, "inconclusive", false)
 		return false, nil
 	}
+}
+
+// probeOutcome records one ProbeBivalent resolution as a counter bump and a
+// trace event; outcome names the evidence that settled (or failed to
+// settle) the probe.
+func (o *Oracle) probeOutcome(p []int, outcome string, bivalent bool) {
+	s := o.opts.Obs
+	if !s.Enabled() {
+		return
+	}
+	s.Counter("valency_probe_" + outcome).Add(1)
+	s.Event("valency_probe",
+		slog.Int("procs", len(p)),
+		slog.String("outcome", outcome),
+		slog.Bool("bivalent", bivalent),
+	)
 }
 
 // Bivalent reports whether p is bivalent from c (Definition 1).
@@ -374,9 +438,11 @@ func (o *Oracle) SoloDeciding(ctx context.Context, c model.Config, pid int) (mod
 		return nil, v, nil
 	}
 	o.stats.SoloQueries++
+	o.metrics.soloQueries.Add(1)
 	key := soloKey{fp: o.opts.Fingerprint(c), pid: pid}
 	if e, ok := o.memo.solo[key]; ok {
 		o.stats.SoloHits++
+		o.metrics.soloHits.Add(1)
 		if e.err != "" {
 			return nil, model.Bottom, errors.New(e.err)
 		}
@@ -387,6 +453,7 @@ func (o *Oracle) SoloDeciding(ctx context.Context, c model.Config, pid int) (mod
 		decided model.Value
 		foundID = -1
 	)
+	sp := o.opts.Obs.StartSpan("valency_solo", slog.Int("pid", pid))
 	res, err := explore.Reach(ctx, c, []int{pid}, o.opts, func(v explore.Visit) bool {
 		if val, ok := v.Config.Decided(pid); ok {
 			decided = val
@@ -395,7 +462,9 @@ func (o *Oracle) SoloDeciding(ctx context.Context, c model.Config, pid int) (mod
 		}
 		return true
 	})
+	sp.End(slog.Int("configs", res.Count), slog.Bool("decided", foundID >= 0))
 	o.stats.Configs += res.Count
+	o.metrics.configs.Add(int64(res.Count))
 	if foundID < 0 {
 		if err != nil {
 			return nil, model.Bottom, fmt.Errorf("solo termination search for p%d: %w", pid, err)

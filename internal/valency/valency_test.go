@@ -189,3 +189,41 @@ func TestProfileFloodN2(t *testing.T) {
 	}
 	t.Logf("%v", same)
 }
+
+// TestProfileAbsorptionReusesVerdicts pins the profile's oracle-query
+// budget on DiskRace n=3: the p-only reachable space is closed under
+// p-moves, so the absorption check must answer every successor lookup from
+// the classification pass's fingerprint-keyed verdict table — exactly one
+// Decidable call per configuration, none for absorption.
+func TestProfileAbsorptionReusesVerdicts(t *testing.T) {
+	disk := consensus.DiskRace{}
+	o := New(explore.Options{KeyFn: disk.CanonicalKey, KeyTo: disk.CanonicalKeyTo})
+	c := model.NewConfig(disk, []model.Value{"0", "1", "1"})
+	// Advance the pair deterministically before profiling: the landscape
+	// from the initial configuration is ~12k configurations (a minute of
+	// exhaustive classification); from here it is ~2k, entirely univalent
+	// — so the absorption check runs its successor lookups at every single
+	// configuration, the maximal workload for the verdict-reuse path.
+	for i := 0; i < 14; i++ {
+		c = c.StepDet(0)
+		c = c.StepDet(1)
+	}
+	report, err := o.Profile(context.Background(), "diskrace(0,1,1)", c, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total() == 0 || report.Configs != report.Total() {
+		t.Fatalf("exploration totals not surfaced: Configs=%d, classified %d", report.Configs, report.Total())
+	}
+	if report.Steps <= report.Configs {
+		t.Fatalf("Steps=%d not surfaced (want > Configs=%d for a branching space)", report.Steps, report.Configs)
+	}
+	if report.Queries != report.Total() {
+		t.Fatalf("absorption re-queried the oracle: %d queries for %d configurations (want equal)",
+			report.Queries, report.Total())
+	}
+	if report.SoloQueries == 0 {
+		t.Fatal("SoloQueries not surfaced: exhaustive classification must run solo searches")
+	}
+	t.Logf("%v", report)
+}
