@@ -8,11 +8,20 @@
 // Usage:
 //
 //	benchreport [-out BENCH_explore.json] [-check] [-debug-addr host:port] [-trace-out trace.jsonl]
+//	            [-checkpoint-dir dir] [-checkpoint-every 5s] [-resume] [-spill-budget bytes]
 //
 // Every run records the final observability snapshot (memo hit rates, peak
 // frontier, dedup hits) in the report's "metrics" object, so the perf
 // trajectory tracks cache behaviour alongside configs/sec; -debug-addr and
 // -trace-out additionally expose the run live.
+//
+// The suite always ends with a checkpointed repeat of the Theorem 1 n=4
+// row and embeds its snapshot counters plus the overhead fraction versus
+// the unchecked row in the report's "checkpoint" object, so the cost of
+// crash safety is part of the perf trajectory (target: < 5% at the default
+// -checkpoint-every 5s). -checkpoint-dir persists those snapshots (and
+// lets -resume fast-forward the row); without it they go to a temp
+// directory that is deleted on exit.
 //
 // With -check the command exits non-zero if the parallel engine's
 // configs/sec on the DiskRace n=3 reference workload falls below half of
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/checkpoint"
 	"repro/internal/consensus"
 	"repro/internal/explore"
 	"repro/internal/model"
@@ -57,12 +67,27 @@ type Run struct {
 type TheoremRun struct {
 	Protocol      string  `json:"protocol"`
 	N             int     `json:"n"`
+	Checkpointed  bool    `json:"checkpointed,omitempty"`
 	Completed     bool    `json:"completed"`
 	Registers     int     `json:"registers"`
 	ElapsedSec    float64 `json:"elapsed_sec"`
 	OracleConfigs int     `json:"oracle_configs"`
 	ConfigsPerSec float64 `json:"configs_per_sec"`
 	Err           string  `json:"error,omitempty"`
+}
+
+// CheckpointStats summarises the checkpointed Theorem 1 n=4 row: how many
+// snapshots it wrote, how big they were, how much frontier spilled to disk,
+// and what crash safety cost relative to the unchecked row.
+type CheckpointStats struct {
+	Writes      int   `json:"writes"`
+	Bytes       int64 `json:"bytes"`
+	SpillChunks int64 `json:"spill_chunks"`
+	SpillBytes  int64 `json:"spill_bytes"`
+	// OverheadFrac is (checkpointed - plain) / plain elapsed time for the
+	// DiskRace n=4 row; the roadmap target is < 0.05 at the default 5s
+	// interval.
+	OverheadFrac float64 `json:"overhead_frac"`
 }
 
 // Report is the whole BENCH_explore.json document.
@@ -77,6 +102,9 @@ type Report struct {
 	// SpeedupDiskRaceN3 is parallel/sequential configs-per-second on the
 	// DiskRace n=3 reference workload — the ratio -check gates on.
 	SpeedupDiskRaceN3 float64 `json:"speedup_diskrace_n3"`
+	// Checkpoint reports the checkpointed n=4 row's snapshot counters and
+	// overhead versus the unchecked row.
+	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
 	// Metrics is the final observability-registry snapshot of the whole
 	// suite: valency memo hit rates, explore peak frontier and dedup
 	// hits, lemma 4 rounds — the cache-behaviour half of the perf
@@ -122,10 +150,13 @@ func measureReach(name string, c model.Config, pids []int, opts explore.Options)
 }
 
 func measureTheorem1(protocol model.Machine, opts explore.Options, n int, budget time.Duration, scope *obs.Scope) TheoremRun {
+	opts.Obs = scope
+	return measureTheorem1Engine(adversary.New(valency.New(opts)), protocol, n, budget)
+}
+
+func measureTheorem1Engine(engine *adversary.Engine, protocol model.Machine, n int, budget time.Duration) TheoremRun {
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
-	opts.Obs = scope
-	engine := adversary.New(valency.New(opts))
 	start := time.Now()
 	w, err := engine.Theorem1(ctx, protocol, n)
 	elapsed := time.Since(start)
@@ -148,12 +179,81 @@ func measureTheorem1(protocol model.Machine, opts explore.Options, n int, budget
 	return tr
 }
 
+// checkpointedN4 reruns the DiskRace n=4 Theorem 1 row with crash-safe
+// snapshots attached and reports the row plus its checkpoint counters.
+// plain is the unchecked row it is compared against for overhead.
+func checkpointedN4(plain TheoremRun, scope *obs.Scope, dir string, every time.Duration, resume bool, spillBudget int64) (TheoremRun, *CheckpointStats, error) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "benchreport-ckpt-")
+		if err != nil {
+			return TheoremRun{}, nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		return TheoremRun{}, nil, err
+	}
+	opts := diskOpts()
+	opts.Obs = scope
+	if spillBudget > 0 {
+		opts.SpillDir = dir
+		opts.SpillBudget = spillBudget
+	}
+	meta := checkpoint.Meta{Protocol: consensus.DiskRace{}.Name(), N: 4, MaxConfigs: opts.MaxConfigs}
+	engine := adversary.New(valency.New(opts))
+	if resume {
+		snap, err := store.Latest()
+		if err != nil {
+			return TheoremRun{}, nil, fmt.Errorf("resume: %w", err)
+		}
+		if snap.Meta.Protocol != meta.Protocol || snap.Meta.N != meta.N || snap.Meta.MaxConfigs != meta.MaxConfigs {
+			return TheoremRun{}, nil, fmt.Errorf("resume: snapshot is for %s n=%d, this row is %s n=%d",
+				snap.Meta.Protocol, snap.Meta.N, meta.Protocol, meta.N)
+		}
+		if engine, err = adversary.ResumeEngine(opts, snap); err != nil {
+			return TheoremRun{}, nil, err
+		}
+		meta = snap.Meta
+	}
+	coord := checkpoint.NewCoordinator(store, every, meta, scope)
+	engine.SetCheckpointer(coord)
+	spillChunks := scope.Counter("spill_chunks").Value()
+	spillBytes := scope.Counter("spill_bytes").Value()
+	tr := measureTheorem1Engine(engine, consensus.DiskRace{}, 4, 10*time.Minute)
+	tr.Checkpointed = true
+	// Persist the finished memo (outside the timed window) so a pinned
+	// -checkpoint-dir can fast-forward the next -resume run.
+	if err := coord.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport: final checkpoint:", err)
+	}
+	writes, bytes := coord.Stats()
+	st := &CheckpointStats{
+		Writes:      writes,
+		Bytes:       bytes,
+		SpillChunks: scope.Counter("spill_chunks").Value() - spillChunks,
+		SpillBytes:  scope.Counter("spill_bytes").Value() - spillBytes,
+	}
+	if plain.Completed && tr.Completed && plain.ElapsedSec > 0 {
+		st.OverheadFrac = (tr.ElapsedSec - plain.ElapsedSec) / plain.ElapsedSec
+	}
+	return tr, st, nil
+}
+
 func run() (int, error) {
 	out := flag.String("out", "BENCH_explore.json", "output path for the JSON report")
 	check := flag.Bool("check", false, "exit non-zero if parallel Reach is >2x slower than sequential on DiskRace n=3")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
 	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for the checkpointed n=4 row's snapshots (empty = temp dir, deleted on exit)")
+	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "minimum interval between snapshots in the checkpointed row")
+	resume := flag.Bool("resume", false, "resume the checkpointed n=4 row from its newest snapshot in -checkpoint-dir")
+	spillBudget := flag.Int64("spill-budget", 0, "in-memory frontier budget for the checkpointed row; beyond it chunks spill to disk (0 = never)")
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		return 1, fmt.Errorf("-resume requires -checkpoint-dir")
+	}
 
 	// The scope observes the end-to-end Theorem 1 rows (the
 	// microbenchmark rows stay unobserved so their allocs/config numbers
@@ -232,6 +332,18 @@ func run() (int, error) {
 		measureTheorem1(consensus.DiskRace{}, diskOpts(), 3, 5*time.Minute, scope),
 		measureTheorem1(consensus.DiskRace{}, diskOpts(), 4, 10*time.Minute, scope),
 	)
+
+	// Checkpointed repeat of the n=4 row: same construction, snapshots
+	// every -checkpoint-every, counters and overhead embedded in the
+	// report. Runs against a throwaway temp directory unless the operator
+	// pins one with -checkpoint-dir.
+	ckptRow, ckptStats, err := checkpointedN4(rep.Theorem1[len(rep.Theorem1)-1], scope,
+		*ckptDir, *ckptEvery, *resume, *spillBudget)
+	if err != nil {
+		return 1, err
+	}
+	rep.Theorem1 = append(rep.Theorem1, ckptRow)
+	rep.Checkpoint = ckptStats
 	rep.Metrics = scope.Registry().Snapshot()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -249,8 +361,16 @@ func run() (int, error) {
 		if !tr.Completed {
 			status = "INCOMPLETE: " + tr.Err
 		}
+		name := tr.Protocol
+		if tr.Checkpointed {
+			name += " (checkpointed)"
+		}
 		fmt.Printf("theorem1 %s n=%d: %.2fs, %d oracle configs, %s\n",
-			tr.Protocol, tr.N, tr.ElapsedSec, tr.OracleConfigs, status)
+			name, tr.N, tr.ElapsedSec, tr.OracleConfigs, status)
+	}
+	if rep.Checkpoint != nil {
+		fmt.Printf("checkpointing: %d snapshots, %d bytes, %d spill chunks, %.1f%% overhead vs unchecked n=4\n",
+			rep.Checkpoint.Writes, rep.Checkpoint.Bytes, rep.Checkpoint.SpillChunks, 100*rep.Checkpoint.OverheadFrac)
 	}
 
 	if *check {

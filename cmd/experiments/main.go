@@ -3,24 +3,35 @@
 // reproducible with one command:
 //
 //	go run ./cmd/experiments [-heavy] [-debug-addr host:port] [-trace-out trace.jsonl]
+//	                         [-checkpoint-dir dir] [-checkpoint-every 30s] [-resume]
 //
 // -heavy additionally runs the slow rows (larger n for the adversary and
 // bounded model checking), which take minutes — exactly the runs worth
 // watching via -debug-addr (live /progress and /debug/pprof) or recording
 // via -trace-out (JSONL phase spans).
+//
+// -checkpoint-dir snapshots each E1 adversary row into its own
+// subdirectory (<dir>/<protocol>-n<k>) every -checkpoint-every; -resume
+// restarts each row from its newest snapshot, running rows with no
+// snapshot from scratch, so a killed -heavy sweep loses at most one row's
+// progress.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/check"
+	"repro/internal/checkpoint"
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/encdec"
@@ -34,17 +45,73 @@ import (
 	"repro/internal/valency"
 )
 
+// ckptConfig carries the checkpoint flags into each E1 adversary row.
+type ckptConfig struct {
+	dir    string
+	every  time.Duration
+	resume bool
+}
+
+// engineFor builds the adversary engine for one E1 row, checkpointing into
+// a per-row subdirectory and resuming from its newest snapshot when asked.
+// A -resume row with no (or an incompatible) snapshot starts fresh rather
+// than failing: experiments is a batch sweep, and partial coverage of the
+// checkpoint directory is the normal state after a mid-sweep kill.
+func engineFor(opts explore.Options, scope *obs.Scope, protocol string, n int, cfg ckptConfig) (*adversary.Engine, *checkpoint.Coordinator, error) {
+	if cfg.dir == "" {
+		return adversary.New(valency.New(opts)), nil, nil
+	}
+	store, err := checkpoint.Open(filepath.Join(cfg.dir, fmt.Sprintf("%s-n%d", protocol, n)))
+	if err != nil {
+		return nil, nil, err
+	}
+	meta := checkpoint.Meta{Protocol: protocol, N: n, MaxConfigs: opts.MaxConfigs}
+	if cfg.resume {
+		snap, err := store.Latest()
+		switch {
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// fall through to a fresh engine
+		case err != nil:
+			return nil, nil, fmt.Errorf("resume %s n=%d: %w", protocol, n, err)
+		case snap.Meta.Protocol != protocol || snap.Meta.N != n || snap.Meta.MaxConfigs != opts.MaxConfigs:
+			fmt.Fprintf(os.Stderr, "experiments: %s n=%d: snapshot is for %s n=%d, ignoring\n",
+				protocol, n, snap.Meta.Protocol, snap.Meta.N)
+		default:
+			engine, err := adversary.ResumeEngine(opts, snap)
+			if err != nil {
+				return nil, nil, err
+			}
+			coord := checkpoint.NewCoordinator(store, cfg.every, snap.Meta, scope)
+			engine.SetCheckpointer(coord)
+			fmt.Fprintf(os.Stderr, "experiments: %s n=%d resuming from snapshot %d, stage %q\n",
+				protocol, n, snap.Meta.Seq, snap.Meta.Stage)
+			return engine, coord, nil
+		}
+	}
+	engine := adversary.New(valency.New(opts))
+	coord := checkpoint.NewCoordinator(store, cfg.every, meta, scope)
+	engine.SetCheckpointer(coord)
+	return engine, coord, nil
+}
+
 func main() {
 	heavy := flag.Bool("heavy", false, "include slow rows (minutes)")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
 	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for per-row crash-safe snapshots (empty = off)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between snapshots")
+	resume := flag.Bool("resume", false, "resume each adversary row from its newest snapshot in -checkpoint-dir")
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint-dir")
+		os.Exit(1)
+	}
 	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	runErr := run(*heavy, scope)
+	runErr := run(*heavy, scope, ckptConfig{dir: *ckptDir, every: *ckptEvery, resume: *resume})
 	if err := stopObs(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments: observability shutdown:", err)
 	}
@@ -54,7 +121,7 @@ func main() {
 	}
 }
 
-func run(heavy bool, scope *obs.Scope) error {
+func run(heavy bool, scope *obs.Scope, ckpt ckptConfig) error {
 	fmt.Println("## E1 — Theorem 1: the adversary forces n-1 distinct registers")
 	fmt.Println()
 	fmt.Println("| protocol | n | registers witnessed | bound n-1 | execution steps | covering rounds | oracle configs |")
@@ -71,10 +138,16 @@ func run(heavy bool, scope *obs.Scope) error {
 	}
 	for _, a := range attacks {
 		a.opts.Obs = scope
-		engine := adversary.New(valency.New(a.opts))
+		engine, coord, err := engineFor(a.opts, scope, a.machine.Name(), a.n, ckpt)
+		if err != nil {
+			return fmt.Errorf("E1 %s n=%d: %w", a.machine.Name(), a.n, err)
+		}
 		w, err := engine.Theorem1(context.Background(), a.machine, a.n)
 		if err != nil {
 			return fmt.Errorf("E1 %s n=%d: %w", a.machine.Name(), a.n, err)
+		}
+		if err := coord.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s n=%d final checkpoint: %v\n", a.machine.Name(), a.n, err)
 		}
 		st := engine.Oracle().Stats()
 		fmt.Printf("| %s | %d | %d | %d | %d | %d | %d |\n",

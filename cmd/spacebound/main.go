@@ -7,15 +7,29 @@
 //
 //	spacebound [-protocol diskrace] [-n 3] [-max-configs 0] [-workers 0] [-timeout 0] [-figures] [-transcript]
 //	           [-debug-addr host:port] [-trace-out trace.jsonl]
+//	           [-checkpoint-dir dir] [-checkpoint-every 30s] [-resume] [-spill-budget bytes]
+//	           [-witness-out witness.txt]
 //
 // -debug-addr starts the live observability endpoint (/debug/pprof,
 // /debug/vars, /progress) for watching or profiling a long construction;
 // -trace-out streams the construction's phase spans and exploration levels
 // as JSONL ("-" for stderr).
 //
-// Exit codes: 0 on a complete witness, 3 when a -timeout or -max-configs
-// budget interrupted the construction (the partial progress is printed to
-// stderr), 1 on any other failure.
+// -checkpoint-dir enables crash-safe snapshots of the construction (valency
+// memo, proof stage, in-flight BFS frontier) every -checkpoint-every;
+// -resume restarts from the newest intact snapshot in that directory, and
+// with Workers:1 the resumed run's witness is byte-identical to an
+// uninterrupted one. -spill-budget bounds the in-memory BFS frontier,
+// spilling cold chunks to <checkpoint-dir>/spill beyond it. -witness-out
+// writes the rendered witness atomically alongside a .sha256 sidecar.
+//
+// Every completed witness is re-verified by an independent replay
+// (check.VerifyWitness) before the program exits 0.
+//
+// Exit codes: 0 on a complete, verified witness, 3 when a -timeout or
+// -max-configs budget interrupted the construction (the partial progress is
+// printed to stderr), 4 if the finished witness fails independent
+// verification, 1 on any other failure.
 package main
 
 import (
@@ -23,15 +37,26 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/valency"
 )
+
+// errVerifyFailed tags a witness that completed but failed the independent
+// replay audit; main maps it to exit code 4.
+var errVerifyFailed = errors.New("witness failed independent verification")
 
 func main() {
 	if err := run(); err != nil {
@@ -42,6 +67,9 @@ func main() {
 			os.Exit(3)
 		}
 		fmt.Fprintln(os.Stderr, "spacebound:", err)
+		if errors.Is(err, errVerifyFailed) {
+			os.Exit(4)
+		}
 		os.Exit(1)
 	}
 }
@@ -56,7 +84,19 @@ func run() error {
 	transcript := flag.Bool("transcript", false, "print the full step-by-step execution")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
 	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for crash-safe snapshots (empty = off)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between snapshots")
+	resume := flag.Bool("resume", false, "resume from the newest snapshot in -checkpoint-dir")
+	spillBudget := flag.Int64("spill-budget", 0, "approximate in-memory frontier budget in bytes; beyond it cold chunks spill to <checkpoint-dir>/spill (0 = never spill)")
+	witnessOut := flag.String("witness-out", "", "write the rendered witness here atomically, with a .sha256 sidecar (empty = off)")
 	flag.Parse()
+
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *spillBudget > 0 && *ckptDir == "" {
+		return fmt.Errorf("-spill-budget requires -checkpoint-dir (spill files live under it)")
+	}
 
 	m, opts, err := core.Machine(*protocol)
 	if err != nil {
@@ -76,16 +116,32 @@ func run() error {
 		}
 	}()
 	opts.Obs = scope
+	if *spillBudget > 0 {
+		opts.SpillDir = filepath.Join(*ckptDir, "spill")
+		opts.SpillBudget = *spillBudget
+		if err := os.MkdirAll(opts.SpillDir, 0o755); err != nil {
+			return fmt.Errorf("spill dir: %w", err)
+		}
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	engine := adversary.New(valency.New(opts))
+
+	engine, coord, err := buildEngine(opts, scope, *protocol, *n, *ckptDir, *ckptEvery, *resume)
+	if err != nil {
+		return err
+	}
 	w, err := engine.Theorem1(ctx, m, *n)
 	if err != nil {
 		return err
+	}
+	// Persist the completed run's memo so a later invocation over the same
+	// directory replays the whole construction from memo alone.
+	if err := coord.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "spacebound: final checkpoint:", err)
 	}
 
 	fmt.Println(w)
@@ -94,6 +150,9 @@ func run() error {
 	stats := engine.Oracle().Stats()
 	fmt.Printf("\nvalency oracle: %d queries (%d memoised), %d solo searches (%d memoised), %d configurations searched\n",
 		stats.Queries, stats.Hits, stats.SoloQueries, stats.SoloHits, stats.Configs)
+	if writes, bytes := coord.Stats(); writes > 0 {
+		fmt.Printf("checkpoints: %d written, %d bytes\n", writes, bytes)
+	}
 
 	if *transcript {
 		initial := model.NewConfig(m, w.Inputs)
@@ -104,5 +163,81 @@ func run() error {
 		fmt.Println()
 		fmt.Print(trace.Theorem1DOT(w))
 	}
+
+	if *witnessOut != "" {
+		if err := checkpoint.WriteArtifact(*witnessOut, []byte(renderWitness(w))); err != nil {
+			return fmt.Errorf("witness artifact: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "spacebound: witness written to %s (+.sha256)\n", *witnessOut)
+	}
+
+	// Independent audit: replay the witness against raw protocol semantics.
+	if err := check.VerifyWitness(m, w); err != nil {
+		return fmt.Errorf("%w: %v", errVerifyFailed, err)
+	}
+	fmt.Fprintln(os.Stderr, "spacebound: witness verified by independent replay")
 	return nil
+}
+
+// buildEngine constructs a fresh or resumed adversary engine plus the
+// coordinator that snapshots it. With no -checkpoint-dir both the
+// coordinator and the returned engine's checkpointer are nil-safe no-ops.
+func buildEngine(opts explore.Options, scope *obs.Scope, protocol string, n int, dir string, every time.Duration, resume bool) (*adversary.Engine, *checkpoint.Coordinator, error) {
+	if dir == "" {
+		return adversary.New(valency.New(opts)), nil, nil
+	}
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta := checkpoint.Meta{Protocol: protocol, N: n, MaxConfigs: opts.MaxConfigs}
+	if !resume {
+		engine := adversary.New(valency.New(opts))
+		coord := checkpoint.NewCoordinator(store, every, meta, scope)
+		engine.SetCheckpointer(coord)
+		return engine, coord, nil
+	}
+	snap, err := store.Latest()
+	if err != nil {
+		return nil, nil, fmt.Errorf("resume: %w", err)
+	}
+	if snap.Meta.Protocol != protocol || snap.Meta.N != n || snap.Meta.MaxConfigs != opts.MaxConfigs {
+		return nil, nil, fmt.Errorf("resume: snapshot is for %s n=%d max-configs=%d, flags say %s n=%d max-configs=%d",
+			snap.Meta.Protocol, snap.Meta.N, snap.Meta.MaxConfigs, protocol, n, opts.MaxConfigs)
+	}
+	engine, err := adversary.ResumeEngine(opts, snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	coord := checkpoint.NewCoordinator(store, every, snap.Meta, scope)
+	engine.SetCheckpointer(coord)
+	queryDepth := -1
+	if snap.Query != nil {
+		queryDepth = snap.Query.Depth
+	}
+	verdicts := 0
+	if snap.Memo != nil {
+		verdicts = len(snap.Memo.Verdicts)
+	}
+	scope.Event("checkpoint_resume",
+		slog.Uint64("seq", snap.Meta.Seq),
+		slog.String("stage", snap.Meta.Stage),
+		slog.Int("memo_verdicts", verdicts),
+		slog.Int("query_depth", queryDepth))
+	fmt.Fprintf(os.Stderr, "spacebound: resuming from snapshot %d, stage %q (%d memoised verdicts, in-flight query depth %d)\n",
+		snap.Meta.Seq, snap.Meta.Stage, verdicts, queryDepth)
+	return engine, coord, nil
+}
+
+// renderWitness is the artifact body: everything the proof claims, nothing
+// the run's performance influenced. A resumed run must reproduce this byte
+// for byte, so oracle statistics and timings are deliberately excluded.
+func renderWitness(w *adversary.Theorem1Witness) string {
+	var b strings.Builder
+	b.WriteString(w.String())
+	b.WriteString("\n\n")
+	b.WriteString(trace.CoverTable(w))
+	b.WriteString("\n")
+	b.WriteString(trace.Theorem1DOT(w))
+	return b.String()
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// buildBinary compiles the spacebound command once into dir.
+func buildBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "spacebound")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runBinary(t *testing.T, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	var outBuf, errBuf bytes.Buffer
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", bin, args, err, &outBuf, &errBuf)
+	}
+	return outBuf.String(), errBuf.String()
+}
+
+// TestKillResumeByteIdenticalWitness is the tentpole acceptance test: a
+// checkpointed n=4 run SIGKILLed as soon as it has persisted a snapshot,
+// then resumed with -resume, must produce a witness artifact byte-identical
+// to an uninterrupted run's — and both must pass the independent replay
+// verifier and sha256 sidecar check.
+func TestKillResumeByteIdenticalWitness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	work := t.TempDir()
+	bin := buildBinary(t, work)
+	ckptDir := filepath.Join(work, "ckpt")
+	cleanOut := filepath.Join(work, "clean.txt")
+	resumedOut := filepath.Join(work, "resumed.txt")
+
+	// Reference: uninterrupted run.
+	_, cleanErr := runBinary(t, bin,
+		"-protocol", "diskrace", "-n", "4", "-workers", "1", "-witness-out", cleanOut)
+	if !strings.Contains(cleanErr, "witness verified by independent replay") {
+		t.Fatalf("clean run did not self-verify:\n%s", cleanErr)
+	}
+
+	// Crash run: SIGKILL the process the moment a snapshot file exists.
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	crash := exec.CommandContext(ctx, bin,
+		"-protocol", "diskrace", "-n", "4", "-workers", "1",
+		"-checkpoint-dir", ckptDir, "-checkpoint-every", "50ms")
+	if err := crash.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	for deadline := time.Now().Add(time.Minute); time.Now().Before(deadline); {
+		if snaps, _ := filepath.Glob(filepath.Join(ckptDir, "snap-*.ckpt")); len(snaps) > 0 {
+			if err := crash.Process.Signal(syscall.SIGKILL); err == nil {
+				killed = true
+			}
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	err := crash.Wait()
+	if !killed {
+		t.Fatalf("no snapshot appeared before the run ended (err=%v)", err)
+	}
+	if err == nil {
+		t.Fatal("SIGKILLed run exited cleanly?")
+	}
+	snaps, _ := filepath.Glob(filepath.Join(ckptDir, "snap-*.ckpt"))
+	if len(snaps) == 0 {
+		t.Fatal("kill left no snapshot behind")
+	}
+
+	// Resume and compare artifacts byte for byte.
+	_, resumeErr := runBinary(t, bin,
+		"-protocol", "diskrace", "-n", "4", "-workers", "1",
+		"-checkpoint-dir", ckptDir, "-resume", "-witness-out", resumedOut)
+	if !strings.Contains(resumeErr, "resuming from snapshot") {
+		t.Fatalf("resume run did not load the snapshot:\n%s", resumeErr)
+	}
+	if !strings.Contains(resumeErr, "witness verified by independent replay") {
+		t.Fatalf("resumed run did not self-verify:\n%s", resumeErr)
+	}
+	clean, err := os.ReadFile(cleanOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(resumedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) == 0 {
+		t.Fatal("clean witness artifact is empty")
+	}
+	if !bytes.Equal(clean, resumed) {
+		t.Fatalf("resumed witness differs from uninterrupted run\nclean %d bytes, resumed %d bytes", len(clean), len(resumed))
+	}
+	for _, p := range []string{cleanOut, resumedOut} {
+		if err := checkpoint.VerifyArtifact(p); err != nil {
+			t.Fatalf("artifact %s: %v", p, err)
+		}
+	}
+}
+
+// TestVerifierRejectsTamperedArtifact: flipping a byte of the witness
+// artifact must be caught by the sha256 sidecar.
+func TestVerifierRejectsTamperedArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	work := t.TempDir()
+	bin := buildBinary(t, work)
+	out := filepath.Join(work, "w.txt")
+	runBinary(t, bin, "-protocol", "flood", "-n", "2", "-workers", "1", "-witness-out", out)
+	if err := checkpoint.VerifyArtifact(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 1
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkpoint.VerifyArtifact(out); err == nil {
+		t.Fatal("tampered artifact passed verification")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/valency"
@@ -54,6 +55,9 @@ type Engine struct {
 	// probeBudget bounds each of Lemma 1's bivalence probes (see
 	// DefaultProbeBudget).
 	probeBudget int
+	// ckpt, when set, is told which proof stage is current so snapshots
+	// are stage-tagged and a resumed run reports the lemma it re-enters.
+	ckpt *checkpoint.Coordinator
 }
 
 // DefaultMaxRounds caps the covering sequence per Lemma 4 invocation.
@@ -80,6 +84,24 @@ func New(oracle *valency.Oracle) *Engine {
 // Oracle exposes the engine's valency oracle (for reporting query counts).
 func (e *Engine) Oracle() *valency.Oracle { return e.oracle }
 
+// SetCheckpointer attaches a coordinator to both the engine (stage tags)
+// and its oracle (memo source plus in-flight query snapshots). nil detaches.
+func (e *Engine) SetCheckpointer(c *checkpoint.Coordinator) {
+	e.ckpt = c
+	e.oracle.SetCheckpointer(c)
+}
+
+// stage records a proof-stage transition: the /progress phase label, the
+// snapshot stage tag, and a checkpoint save opportunity. Stage strings are
+// what an operator sees in a resumed run's "re-entering" log line.
+func (e *Engine) stage(format string, args ...any) {
+	e.scope.SetPhase(format, args...)
+	if e.ckpt != nil {
+		e.ckpt.SetStage(fmt.Sprintf(format, args...))
+		e.ckpt.Tick()
+	}
+}
+
 // InitialBivalent implements Proposition 2: it returns the initial
 // configuration in which process 0 has input 0, process 1 has input 1 and
 // every other process has input 1, and verifies that {p0} is 0-univalent,
@@ -88,7 +110,7 @@ func (e *Engine) InitialBivalent(ctx context.Context, m model.Machine, n int) (m
 	if n < 2 {
 		return model.Config{}, fmt.Errorf("adversary: need n >= 2 processes, got %d", n)
 	}
-	e.scope.SetPhase("proposition 2: initial bivalence (n=%d)", n)
+	e.stage("proposition 2: initial bivalence (n=%d)", n)
 	inputs := make([]model.Value, n)
 	for i := range inputs {
 		inputs[i] = valency.V1
@@ -125,7 +147,7 @@ func (e *Engine) Lemma1(ctx context.Context, c model.Config, p []int) (model.Pat
 	if len(p) < 3 {
 		return nil, 0, fmt.Errorf("lemma 1: need |P| >= 3, got %d", len(p))
 	}
-	e.scope.SetPhase("lemma 1: peeling a process from |P|=%d", len(p))
+	e.stage("lemma 1: peeling a process from |P|=%d", len(p))
 	sp := e.scope.StartSpan("lemma1", slog.Int("procs", len(p)))
 	phi, z, err := e.lemma1(ctx, c, p)
 	if err != nil {
@@ -255,7 +277,7 @@ func (e *Engine) Lemma2(ctx context.Context, c model.Config, r []int, z int) (mo
 	if !ok {
 		return nil, 0, fmt.Errorf("lemma 2: not every process in %v covers a register", r)
 	}
-	e.scope.SetPhase("lemma 2: forcing p%d outside a %d-register cover", z, len(r))
+	e.stage("lemma 2: forcing p%d outside a %d-register cover", z, len(r))
 	sp := e.scope.StartSpan("lemma2", slog.Int("z", z), slog.Int("cover", len(r)))
 	zetaPrime, outside, err := e.lemma2(ctx, c, covered, z)
 	if err != nil {
@@ -296,7 +318,7 @@ func (e *Engine) Lemma3(ctx context.Context, c model.Config, p, r []int) (model.
 	if _, ok := c.CoverSet(r); !ok {
 		return nil, 0, fmt.Errorf("lemma 3: not every process in %v covers a register in c", r)
 	}
-	e.scope.SetPhase("lemma 3: critical Q-only execution (|P|=%d, |R|=%d)", len(p), len(r))
+	e.stage("lemma 3: critical Q-only execution (|P|=%d, |R|=%d)", len(p), len(r))
 	sp := e.scope.StartSpan("lemma3", slog.Int("procs", len(p)), slog.Int("cover", len(r)))
 	phi, crit, err := e.lemma3(ctx, c, p, r)
 	if err != nil {

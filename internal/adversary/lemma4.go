@@ -110,8 +110,8 @@ func (e *Engine) lemma4(ctx context.Context, c model.Config, p []int) (*Lemma4Re
 				i, len(cover), len(cur.r))
 		}
 		e.prog.forcedAtLeast(len(cover))
+		e.stage("lemma 4: covering round %d (|P|=%d, %d registers covered)", i, len(p), len(cover))
 		if e.scope.Enabled() {
-			e.scope.SetPhase("lemma 4: covering round %d (|P|=%d, %d registers covered)", i, len(p), len(cover))
 			e.scope.Counter("lemma4_rounds").Add(1)
 			e.scope.Event("lemma4_round",
 				slog.Int("procs", len(p)),
@@ -187,7 +187,7 @@ type coveringRound struct {
 // replay ψ_i α_{i+1} ... α_{j-1} to reach a configuration indistinguishable
 // from D_j to rest — in which z additionally covers a register outside V.
 func (e *Engine) spliceZ(ctx context.Context, rounds []coveringRound, i int, cur coveringRound, z int, rest []int) (*Lemma4Result, error) {
-	e.scope.SetPhase("lemma 4: pigeonhole splice of p%d between rounds %d and %d", z, i, len(rounds))
+	e.stage("lemma 4: pigeonhole splice of p%d between rounds %d and %d", z, i, len(rounds))
 	e.scope.Event("lemma4_splice",
 		slog.Int("z", z), slog.Int("round_i", i), slog.Int("round_j", len(rounds)))
 	ri := rounds[i]

@@ -30,6 +30,10 @@ type Partial struct {
 	RegistersForced int
 	// Rounds counts Lemma 4 covering-sequence iterations completed.
 	Rounds int
+	// DeepestLevel is the deepest completed BFS level any oracle search
+	// reached before the bound hit — the measure of how far into the state
+	// space the interrupted query had burrowed.
+	DeepestLevel int
 	// OracleStats records the exhaustive-search work performed.
 	OracleStats valency.Stats
 	// Cause is the bounding error that stopped the run.
@@ -39,8 +43,8 @@ type Partial struct {
 // Error implements error.
 func (p *Partial) Error() string {
 	return fmt.Sprintf(
-		"adversary: %s n=%d interrupted after %d stage(s) (%d registers forced, %d covering rounds): %v",
-		p.Protocol, p.N, len(p.Stages), p.RegistersForced, p.Rounds, p.Cause)
+		"adversary: %s n=%d interrupted after %d stage(s) (%d registers forced, %d covering rounds, %d oracle queries, BFS level %d reached): %v",
+		p.Protocol, p.N, len(p.Stages), p.RegistersForced, p.Rounds, p.OracleStats.Queries, p.DeepestLevel, p.Cause)
 }
 
 // Unwrap exposes the bounding cause to errors.Is.
@@ -100,6 +104,7 @@ func (e *Engine) partial(protocol string, n int, err error) error {
 		Stages:          append([]string(nil), e.prog.stages...),
 		RegistersForced: e.prog.forced,
 		Rounds:          e.prog.rounds,
+		DeepestLevel:    e.oracle.Stats().DeepestLevel,
 		OracleStats:     e.oracle.Stats(),
 		Cause:           err,
 	}

@@ -53,6 +53,16 @@ func TestTheorem1DeadlinePartial(t *testing.T) {
 	if p.OracleStats.Queries == 0 {
 		t.Fatalf("Partial should carry the oracle's work counters: %+v", p.OracleStats)
 	}
+	if p.DeepestLevel <= 0 {
+		t.Fatalf("Partial should report the deepest completed BFS level, got %d", p.DeepestLevel)
+	}
+	if p.DeepestLevel != p.OracleStats.DeepestLevel {
+		t.Fatalf("Partial.DeepestLevel %d disagrees with OracleStats.DeepestLevel %d",
+			p.DeepestLevel, p.OracleStats.DeepestLevel)
+	}
+	if !strings.Contains(p.Error(), "oracle queries") || !strings.Contains(p.Error(), "BFS level") {
+		t.Fatalf("Partial.Error should summarise query count and BFS depth: %q", p.Error())
+	}
 	t.Logf("partial result:\n%s", p.String())
 }
 

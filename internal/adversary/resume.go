@@ -1,0 +1,36 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/explore"
+	"repro/internal/valency"
+)
+
+// ResumeEngine builds an engine whose oracle starts from a loaded
+// snapshot: the memo is imported wholesale and the in-flight query (if the
+// crash interrupted one) is armed for re-entry. The caller must pass the
+// same exploration options the snapshotted run used — Meta records
+// Protocol, N and MaxConfigs for that check — and should attach a fresh
+// Coordinator (seeded with snap.Meta) via SetCheckpointer to keep saving.
+//
+// Resumption is a deterministic fast-forward, not a goto: Theorem1 runs
+// from the top, but every query answered before the crash hits the
+// restored memo and returns the path the original search found, so with
+// Workers:1 the construction replays byte-identically to where it died and
+// only then starts exploring again.
+func ResumeEngine(opts explore.Options, snap *checkpoint.Snapshot) (*Engine, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("adversary: resume from nil snapshot")
+	}
+	memo, err := valency.ImportMemo(snap.Memo)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: resume: %w", err)
+	}
+	o := valency.NewWithMemo(opts, memo)
+	if snap.Query != nil {
+		o.SetResume(snap.Query)
+	}
+	return New(o), nil
+}

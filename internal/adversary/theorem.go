@@ -87,7 +87,7 @@ func (e *Engine) Theorem1(ctx context.Context, m model.Machine, n int) (*Theorem
 		return w, err
 	}
 	sp.End(slog.Int("registers", w.Registers), slog.Int("steps", len(w.Execution)))
-	e.scope.SetPhase("theorem 1 complete: %d registers witnessed (n=%d)", w.Registers, n)
+	e.stage("theorem 1 complete: %d registers witnessed (n=%d)", w.Registers, n)
 	return w, nil
 }
 

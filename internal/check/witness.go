@@ -1,0 +1,102 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/model"
+)
+
+// VerifyWitness replays a Theorem 1 witness against the raw protocol
+// semantics and confirms the claim it embodies. It is an independent
+// auditor: no valency oracle, no adversary construction, no memoised state
+// — just model.Config stepping, so a bug anywhere in the proof machinery
+// (or a corrupted artifact from a resumed run) cannot vouch for itself.
+//
+// Checks performed:
+//
+//   - the input vector matches N and the execution replays move by move
+//     (no step by a decided process, every coin move carries an outcome);
+//   - Agreement holds along every prefix: at no point have two processes
+//     decided different values;
+//   - in the final configuration every process in Covered is poised to
+//     write exactly its claimed register, the claimed registers are
+//     distinct, and their number equals Registers >= n-1.
+func VerifyWitness(m model.Machine, w *adversary.Theorem1Witness) error {
+	if w == nil {
+		return fmt.Errorf("verify witness: nil witness")
+	}
+	if len(w.Inputs) != w.N {
+		return fmt.Errorf("verify witness: %d inputs for n=%d", len(w.Inputs), w.N)
+	}
+	c := model.NewConfig(m, w.Inputs)
+	if err := checkAgreement(c, -1); err != nil {
+		return err
+	}
+	for i, mv := range w.Execution {
+		if mv.Pid < 0 || mv.Pid >= w.N {
+			return fmt.Errorf("verify witness: step %d moves p%d, outside n=%d", i, mv.Pid, w.N)
+		}
+		op := c.State(mv.Pid).Pending()
+		switch op.Kind {
+		case model.OpDecide:
+			return fmt.Errorf("verify witness: step %d moves p%d after it decided", i, mv.Pid)
+		case model.OpCoin:
+			if mv.Coin == model.Bottom {
+				return fmt.Errorf("verify witness: step %d flips p%d's coin without an outcome", i, mv.Pid)
+			}
+			c = c.Step(mv.Pid, mv.Coin)
+		default:
+			c = c.StepDet(mv.Pid)
+		}
+		if err := checkAgreement(c, i); err != nil {
+			return err
+		}
+	}
+	// The covering claim: distinct registers, each really covered.
+	seen := make(map[int]int, len(w.Covered))
+	for pid, reg := range w.Covered {
+		if pid < 0 || pid >= w.N {
+			return fmt.Errorf("verify witness: covering process p%d outside n=%d", pid, w.N)
+		}
+		got, ok := c.CoveredRegister(pid)
+		if !ok || got != reg {
+			return fmt.Errorf("verify witness: p%d claimed to cover r%d but is poised on %s",
+				pid, reg, describePending(c, pid))
+		}
+		if prev, dup := seen[reg]; dup {
+			return fmt.Errorf("verify witness: p%d and p%d both claim register r%d", prev, pid, reg)
+		}
+		seen[reg] = pid
+	}
+	if len(w.Covered) != w.Registers {
+		return fmt.Errorf("verify witness: %d covering processes but Registers=%d", len(w.Covered), w.Registers)
+	}
+	if w.Registers < w.N-1 {
+		return fmt.Errorf("verify witness: %d registers witnessed, theorem needs >= n-1 = %d", w.Registers, w.N-1)
+	}
+	return nil
+}
+
+// checkAgreement fails if the configuration already violates Agreement.
+// step is the 0-based index of the move that produced c, -1 for the
+// initial configuration.
+func checkAgreement(c model.Config, step int) error {
+	decided := c.DecidedValues()
+	if len(decided) > 1 {
+		vals := make([]string, 0, len(decided))
+		for v := range decided {
+			vals = append(vals, string(v))
+		}
+		return fmt.Errorf("verify witness: agreement violated after step %d: decided values %v", step, vals)
+	}
+	return nil
+}
+
+func describePending(c model.Config, pid int) string {
+	op := c.State(pid).Pending()
+	if op.Kind == model.OpWrite {
+		return fmt.Sprintf("a write to r%d", op.Reg)
+	}
+	return fmt.Sprintf("op kind %d", op.Kind)
+}

@@ -1,0 +1,74 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/consensus"
+	"repro/internal/explore"
+	"repro/internal/model"
+	"repro/internal/valency"
+)
+
+func theorem1Witness(t *testing.T, m model.Machine, n int) *adversary.Theorem1Witness {
+	t.Helper()
+	e := adversary.New(valency.New(explore.Options{Workers: 1}))
+	w, err := e.Theorem1(context.Background(), m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestVerifyWitnessAccepts replays real Theorem 1 witnesses through the
+// independent verifier.
+func TestVerifyWitnessAccepts(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		w := theorem1Witness(t, consensus.Flood{}, n)
+		if err := VerifyWitness(consensus.Flood{}, w); err != nil {
+			t.Fatalf("n=%d witness rejected: %v", n, err)
+		}
+	}
+}
+
+// TestVerifyWitnessRejectsTampering mutates a genuine witness in each of
+// the ways a bug (or bit rot in a resumed artifact) could and checks every
+// mutation is caught.
+func TestVerifyWitnessRejectsTampering(t *testing.T) {
+	fresh := func() *adversary.Theorem1Witness {
+		return theorem1Witness(t, consensus.Flood{}, 3)
+	}
+	cases := []struct {
+		name   string
+		mutate func(w *adversary.Theorem1Witness)
+	}{
+		{"truncated execution", func(w *adversary.Theorem1Witness) {
+			w.Execution = w.Execution[:len(w.Execution)/2]
+		}},
+		{"wrong covered register", func(w *adversary.Theorem1Witness) {
+			for pid, reg := range w.Covered {
+				w.Covered[pid] = reg + 1
+				return
+			}
+		}},
+		{"inflated register count", func(w *adversary.Theorem1Witness) {
+			w.Registers++
+		}},
+		{"input vector mismatch", func(w *adversary.Theorem1Witness) {
+			w.Inputs = w.Inputs[:len(w.Inputs)-1]
+		}},
+		{"out-of-range move", func(w *adversary.Theorem1Witness) {
+			w.Execution = append(w.Execution, model.Move{Pid: 99})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := fresh()
+			tc.mutate(w)
+			if err := VerifyWitness(consensus.Flood{}, w); err == nil {
+				t.Fatal("tampered witness accepted")
+			}
+		})
+	}
+}

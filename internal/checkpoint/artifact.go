@@ -1,0 +1,55 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteArtifact publishes a witness artifact (rendered chain, DOT graph)
+// crash-safely and pairs it with a "<path>.sha256" sidecar in sha256sum(1)
+// format, so both VerifyArtifact and a plain `sha256sum -c` can attest the
+// bytes. The artifact itself stays byte-for-byte the rendered payload —
+// no embedded header — which keeps golden-file comparisons trivial.
+func WriteArtifact(path string, payload []byte) error {
+	if _, err := WriteFileAtomic(path, func(w io.Writer) (int64, error) {
+		n, err := w.Write(payload)
+		return int64(n), err
+	}); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(payload)
+	line := fmt.Sprintf("%s  %s\n", hex.EncodeToString(sum[:]), filepath.Base(path))
+	_, err := WriteFileAtomic(path+".sha256", func(w io.Writer) (int64, error) {
+		n, err := io.WriteString(w, line)
+		return int64(n), err
+	})
+	return err
+}
+
+// VerifyArtifact re-hashes the artifact at path against its sidecar and
+// returns an ErrCorrupt-wrapping error on any mismatch, malformed sidecar,
+// or missing file.
+func VerifyArtifact(path string) error {
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: artifact: %w", err)
+	}
+	sidecar, err := os.ReadFile(path + ".sha256")
+	if err != nil {
+		return fmt.Errorf("checkpoint: artifact sidecar: %w", err)
+	}
+	fields := strings.Fields(string(sidecar))
+	if len(fields) < 1 || len(fields[0]) != hex.EncodedLen(sha256.Size) {
+		return corruptf("artifact sidecar %s.sha256 malformed", path)
+	}
+	sum := sha256.Sum256(payload)
+	if !strings.EqualFold(fields[0], hex.EncodeToString(sum[:])) {
+		return corruptf("artifact %s does not match recorded digest", path)
+	}
+	return nil
+}

@@ -1,0 +1,394 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// sampleSnapshot exercises every section and field of the schema.
+func sampleSnapshot(seq uint64) *Snapshot {
+	return &Snapshot{
+		Meta: Meta{
+			Protocol: "diskrace", N: 3, MaxConfigs: 1 << 21,
+			Stage: "lemma 4: covering round 2", Seq: seq, WrittenUnixNano: 1700000000,
+		},
+		Memo: &MemoData{
+			Verdicts: []VerdictRec{
+				{FP: [2]uint64{1, 2}, Pids: 0b011, Values: []string{"0", "1"},
+					Witness: [][]Move{{{Pid: 0, Coin: ""}}, {{Pid: 1, Coin: "H"}, {Pid: 0, Coin: ""}}}},
+				{FP: [2]uint64{3, 4}, Pids: 0b111, Values: []string{"1"}, Witness: [][]Move{nil}},
+			},
+			Solo: []SoloRec{
+				{FP: [2]uint64{5, 6}, Pid: 2, Val: "1", Path: []Move{{Pid: 2}}},
+				{FP: [2]uint64{7, 8}, Pid: 0, Err: "solo run cycles"},
+			},
+		},
+		Query: &QueryData{
+			FP: [2]uint64{9, 10}, Pids: 0b101, MaxConfigs: 4096,
+			Depth: 3, Count: 4, Steps: 17, PeakFrontier: 3,
+			Nodes: []Node{
+				{Parent: 0, Depth: 0},
+				{Parent: 0, Depth: 1, Move: Move{Pid: 0}},
+				{Parent: 0, Depth: 1, Move: Move{Pid: 2, Coin: "T"}},
+				{Parent: 1, Depth: 2, Move: Move{Pid: 2}},
+			},
+			Frontier:     []int{2, 3},
+			Fingerprints: [][2]uint64{{11, 12}, {13, 14}},
+			Found:        []Found{{Value: "0", ID: 3}},
+		},
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := [][]byte{[]byte("alpha"), {}, []byte("gamma")}
+	for _, rec := range records {
+		if err := sw.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sw.Bytes() != int64(buf.Len()) {
+		t.Fatalf("Bytes() = %d, buffer holds %d", sw.Bytes(), buf.Len())
+	}
+	got, err := ReadSegment(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], records[i])
+		}
+	}
+}
+
+// TestReadSegmentCorruption drives every malformation class through
+// ReadSegment: all must surface as ErrCorrupt, never a partial read and
+// never a panic. Bit flips are exhaustive over the file because a segment
+// has no byte whose silent corruption would be acceptable.
+func TestReadSegmentCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	sw, _ := NewWriter(&buf)
+	boundaries := map[int]int{buf.Len(): 0} // byte offset -> records before it
+	sw.Append([]byte("hello"))
+	boundaries[buf.Len()] = 1
+	sw.Append([]byte("world"))
+	valid := buf.Bytes()
+
+	expectCorrupt := func(t *testing.T, data []byte, what string) {
+		t.Helper()
+		recs, err := ReadSegment(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("%s: accepted (%d records)", what, len(recs))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: error %v is not ErrCorrupt", what, err)
+		}
+	}
+
+	expectCorrupt(t, nil, "zero-length file")
+	expectCorrupt(t, []byte("NOTMAGIC"), "wrong magic")
+	for cut := 1; cut < len(valid); cut++ {
+		if want, ok := boundaries[cut]; ok {
+			// A cut at a record boundary is a valid shorter segment —
+			// exactly the guarantee: whole records or ErrCorrupt.
+			recs, err := ReadSegment(bytes.NewReader(valid[:cut]))
+			if err != nil || len(recs) != want {
+				t.Fatalf("boundary cut %d: %d records, %v (want %d, nil)", cut, len(recs), err, want)
+			}
+			continue
+		}
+		expectCorrupt(t, valid[:cut], "truncation")
+	}
+	for i := range valid {
+		for bit := 0; bit < 8; bit++ {
+			flipped := bytes.Clone(valid)
+			flipped[i] ^= 1 << bit
+			expectCorrupt(t, flipped, "bit flip")
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := sampleSnapshot(7)
+	got, err := DecodeSnapshot(want.encodeRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Memo-only and meta-only snapshots roundtrip too.
+	for _, s := range []*Snapshot{
+		{Meta: want.Meta, Memo: want.Memo},
+		{Meta: want.Meta},
+	} {
+		got, err := DecodeSnapshot(s.encodeRecords())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", got, s)
+		}
+	}
+}
+
+func TestDecodeSnapshotRejects(t *testing.T) {
+	meta := encodeMeta(&Meta{Protocol: "p"})
+	cases := map[string][][]byte{
+		"no records":          {},
+		"empty record":        {meta, {}},
+		"unknown tag":         {meta, {99, 1, 2}},
+		"duplicate meta":      {meta, meta},
+		"no meta":             {{secMemo, 0, 0}},
+		"trailing bytes":      {append(bytes.Clone(meta), 0xFF)},
+		"frontier id too big": {meta, func() []byte { q := encodeQuery(&QueryData{Frontier: []int{5}}); return q }()},
+	}
+	for name, records := range cases {
+		if _, err := DecodeSnapshot(records); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v is not ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestStoreSaveLatestPrune(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store Latest = %v, want ErrNoCheckpoint", err)
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		if _, err := store.Save(sampleSnapshot(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := store.files()
+	if len(names) != keepSnapshots {
+		t.Fatalf("store retains %d files %v, want %d", len(names), names, keepSnapshots)
+	}
+	snap, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta.Seq != 4 {
+		t.Fatalf("Latest seq = %d, want 4", snap.Meta.Seq)
+	}
+}
+
+// TestStoreLatestFallsBack corrupts the newest snapshot and checks Latest
+// silently falls back to its predecessor — the scenario keepSnapshots=2
+// exists for.
+func TestStoreLatestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Save(sampleSnapshot(1))
+	store.Save(sampleSnapshot(2))
+	newest := filepath.Join(dir, store.files()[0])
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Latest()
+	if err != nil {
+		t.Fatalf("Latest with corrupt newest: %v", err)
+	}
+	if snap.Meta.Seq != 1 {
+		t.Fatalf("fell back to seq %d, want 1", snap.Meta.Seq)
+	}
+	// Everything corrupt: ErrNoCheckpoint naming the skipped files.
+	if err := os.WriteFile(filepath.Join(dir, store.files()[1]), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = store.Latest()
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("all-corrupt store Latest = %v, want ErrNoCheckpoint", err)
+	}
+	if !strings.Contains(err.Error(), "skipped corrupt") {
+		t.Fatalf("error should name the skipped files: %v", err)
+	}
+}
+
+// TestWriteFileAtomicCrash kills the write callback mid-stream with a
+// faults.CrashWriter and checks the previous file survives untouched and no
+// temp debris is left behind.
+func TestWriteFileAtomicCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.ckpt")
+	old := []byte("previous generation")
+	if _, err := WriteFileAtomic(path, func(w io.Writer) (int64, error) {
+		n, err := w.Write(old)
+		return int64(n), err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for limit := int64(0); limit < 40; limit++ {
+		_, err := WriteFileAtomic(path, func(w io.Writer) (int64, error) {
+			cw := &faults.CrashWriter{W: w, Limit: limit}
+			_, err := cw.Write([]byte("the replacement that never lands"))
+			return cw.Written(), err
+		})
+		if limit < 32 {
+			if !errors.Is(err, faults.ErrWriteCrashed) {
+				t.Fatalf("limit %d: want ErrWriteCrashed, got %v", limit, err)
+			}
+			got, readErr := os.ReadFile(path)
+			if readErr != nil || !bytes.Equal(got, old) {
+				t.Fatalf("limit %d: previous file damaged: %q, %v", limit, got, readErr)
+			}
+		} else if err != nil {
+			t.Fatalf("limit %d covers the payload, write failed: %v", limit, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "snap.ckpt" {
+		t.Fatalf("temp debris left behind: %v", entries)
+	}
+}
+
+// TestCoordinatorInterval pins the coordinator clock and checks the save
+// cadence: the first opportunity saves, opportunities inside the interval
+// are free, the first one past it saves again, Flush always saves.
+func TestCoordinatorInterval(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(store, time.Minute, Meta{Protocol: "p", N: 3}, nil)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.Tick()
+	if w, _ := c.Stats(); w != 1 {
+		t.Fatalf("first tick: %d writes, want 1", w)
+	}
+	now = now.Add(30 * time.Second)
+	c.Tick()
+	c.TickQuery(func() *QueryData { t.Fatal("query builder invoked inside the interval"); return nil })
+	if w, _ := c.Stats(); w != 1 {
+		t.Fatalf("ticks inside interval saved: %d writes", w)
+	}
+	now = now.Add(31 * time.Second)
+	c.SetStage("lemma 2")
+	c.TickQuery(func() *QueryData { return &QueryData{Depth: 2} })
+	if w, _ := c.Stats(); w != 2 {
+		t.Fatalf("tick past interval: %d writes, want 2", w)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := c.Stats(); w != 3 {
+		t.Fatalf("flush: %d writes, want 3", w)
+	}
+	snap, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta.Seq != 3 || snap.Meta.Stage != "lemma 2" {
+		t.Fatalf("latest snapshot %+v, want seq 3 stage lemma 2", snap.Meta)
+	}
+	if snap.Query != nil {
+		t.Fatal("Flush snapshot carries a stale in-flight query")
+	}
+}
+
+// TestCoordinatorSurvivesSaveFailure points the store at a path that cannot
+// host files: ticks must not panic or abort, Err must report, and saving
+// must recover once the directory is back.
+func TestCoordinatorSurvivesSaveFailure(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCoordinator(store, 0, Meta{Protocol: "p"}, nil)
+	// Replace the directory with a plain file: CreateTemp now fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick()
+	if c.Err() == nil {
+		t.Fatal("save into a file-shadowed dir succeeded?")
+	}
+	if w, _ := c.Stats(); w != 0 {
+		t.Fatalf("failed save counted as a write: %d", w)
+	}
+	// Seq must not burn on failures: the next successful save is seq 1.
+	if err := os.Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta.Seq != 1 {
+		t.Fatalf("first successful save has seq %d, want 1", snap.Meta.Seq)
+	}
+}
+
+func TestArtifactWriteVerify(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "witness.txt")
+	payload := []byte("flood n=3: 2 distinct registers witnessed\n")
+	if err := WriteArtifact(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("artifact is not byte-for-byte the payload: %q, %v", got, err)
+	}
+	if err := VerifyArtifact(path); err != nil {
+		t.Fatalf("fresh artifact rejected: %v", err)
+	}
+	// Tamper with the payload.
+	if err := os.WriteFile(path, append(got, 'X'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyArtifact(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered artifact: %v, want ErrCorrupt", err)
+	}
+	// Restore payload, tamper with the sidecar.
+	os.WriteFile(path, payload, 0o644)
+	os.WriteFile(path+".sha256", []byte("feedface  witness.txt\n"), 0o644)
+	if err := VerifyArtifact(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered sidecar: %v, want ErrCorrupt", err)
+	}
+	if err := VerifyArtifact(filepath.Join(dir, "absent.txt")); err == nil {
+		t.Fatal("missing artifact verified")
+	}
+}

@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"log/slog"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Coordinator decides when to persist and assembles each snapshot from its
+// sources: the valency oracle registers a memo exporter, the adversary
+// engine tags the current proof stage, and the exploration engine offers
+// in-flight query state at BFS level boundaries.
+//
+// All methods are driven from the single goroutine that runs the
+// construction (the oracle and engine are single-threaded between
+// exploration fan-outs), so the coordinator takes no locks; saves happen
+// synchronously on that goroutine, which is what makes reading the live
+// memo maps safe.
+//
+// A nil *Coordinator is the disabled state: every method is nil-receiver
+// safe and does nothing, mirroring the obs.Scope convention.
+type Coordinator struct {
+	store *Store
+	every time.Duration
+	scope *obs.Scope
+	meta  Meta
+
+	memoSource func() *MemoData
+	last       time.Time
+	writes     int
+	bytes      int64
+	lastErr    error
+
+	// AfterSave, when non-nil, observes every successfully persisted
+	// snapshot (tests use it to kill a run deterministically after a
+	// known save).
+	AfterSave func(*Snapshot)
+
+	now func() time.Time
+}
+
+// NewCoordinator returns a coordinator saving to store at most once per
+// `every` (every <= 0 means: on every opportunity, which only tests want).
+// meta identifies the run; its Seq field is the sequence to continue from
+// (0 for a fresh run, the loaded snapshot's Seq on resume).
+func NewCoordinator(store *Store, every time.Duration, meta Meta, scope *obs.Scope) *Coordinator {
+	return &Coordinator{
+		store: store,
+		every: every,
+		scope: scope,
+		meta:  meta,
+		now:   time.Now,
+	}
+}
+
+// SetStage records the adversary proof stage stored in subsequent
+// snapshots. Safe on nil.
+func (c *Coordinator) SetStage(stage string) {
+	if c == nil {
+		return
+	}
+	c.meta.Stage = stage
+}
+
+// SetMemoSource registers the function that exports the valency memo at
+// save time. Safe on nil.
+func (c *Coordinator) SetMemoSource(fn func() *MemoData) {
+	if c == nil {
+		return
+	}
+	c.memoSource = fn
+}
+
+// Tick offers a save opportunity between oracle queries: if the configured
+// interval has elapsed since the last save, a snapshot (memo + stage, no
+// in-flight query) is persisted. Safe on nil.
+func (c *Coordinator) Tick() {
+	c.tick(nil)
+}
+
+// TickQuery offers a save opportunity at a BFS level boundary inside an
+// exhaustive query. The query builder is only invoked if the interval has
+// elapsed — materialising in-flight state is expensive, deciding not to is
+// one clock read. A nil return from the builder saves memo-only. Safe on
+// nil.
+func (c *Coordinator) TickQuery(query func() *QueryData) {
+	c.tick(query)
+}
+
+func (c *Coordinator) tick(query func() *QueryData) {
+	if c == nil {
+		return
+	}
+	if !c.last.IsZero() && c.now().Sub(c.last) < c.every {
+		return
+	}
+	c.save(query)
+}
+
+// Flush persists a snapshot immediately, regardless of the interval, and
+// returns the last save error (nil on success). Safe on nil.
+func (c *Coordinator) Flush() error {
+	if c == nil {
+		return nil
+	}
+	c.save(nil)
+	return c.lastErr
+}
+
+// save persists one snapshot. Persistence failures do not stop the proof:
+// the error is counted, kept for Err, and the next tick retries — an
+// hours-long construction should survive a transiently full disk.
+func (c *Coordinator) save(query func() *QueryData) {
+	c.last = c.now()
+	snap := &Snapshot{Meta: c.meta}
+	snap.Meta.Seq++
+	snap.Meta.WrittenUnixNano = c.now().UnixNano()
+	if c.memoSource != nil {
+		snap.Memo = c.memoSource()
+	}
+	if query != nil {
+		snap.Query = query()
+	}
+	n, err := c.store.Save(snap)
+	if err != nil {
+		c.lastErr = err
+		c.scope.Counter("checkpoint_errors").Add(1)
+		c.scope.Event("checkpoint_error", slog.String("err", err.Error()))
+		return
+	}
+	c.lastErr = nil
+	c.meta.Seq = snap.Meta.Seq
+	c.writes++
+	c.bytes += n
+	c.scope.CheckpointSaved(n)
+	c.scope.Event("checkpoint_write",
+		slog.Uint64("seq", snap.Meta.Seq),
+		slog.String("stage", snap.Meta.Stage),
+		slog.Int64("bytes", n),
+		slog.Bool("in_flight_query", snap.Query != nil),
+	)
+	if c.AfterSave != nil {
+		c.AfterSave(snap)
+	}
+}
+
+// Stats reports the coordinator's work for end-of-run reporting. Safe on
+// nil (zeroes).
+func (c *Coordinator) Stats() (writes int, bytes int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.writes, c.bytes
+}
+
+// Err returns the most recent persistence failure, nil if the last save
+// succeeded (or none was attempted). Safe on nil.
+func (c *Coordinator) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.lastErr
+}

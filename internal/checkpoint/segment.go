@@ -1,0 +1,178 @@
+package checkpoint
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// segmentMagic opens every segment file: a human-greppable tag plus a
+// format version byte and a newline so `head -c8` identifies the file.
+const segmentMagic = "SBCKPT\x01\n"
+
+// maxRecordLen bounds a single record's payload. It exists purely so a
+// corrupt length prefix fails fast as ErrCorrupt instead of attempting a
+// multi-exabyte allocation; real snapshots stay far below it.
+const maxRecordLen = 1 << 32
+
+// Writer appends checksummed records to a segment stream:
+//
+//	[uvarint payload length][payload][sha256(payload), 32 bytes]
+//
+// The stream itself carries no trailer; a cleanly terminated file simply
+// ends after a record's checksum. Torn tails (crash mid-record) surface as
+// ErrCorrupt on read, which is why whole files are published only via
+// WriteFileAtomic.
+type Writer struct {
+	w     io.Writer
+	bytes int64
+}
+
+// NewWriter starts a segment stream on w by emitting the magic header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	sw := &Writer{w: w}
+	if err := sw.write([]byte(segmentMagic)); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *Writer) write(p []byte) error {
+	n, err := sw.w.Write(p)
+	sw.bytes += int64(n)
+	if err != nil {
+		return fmt.Errorf("checkpoint: segment write: %w", err)
+	}
+	return nil
+}
+
+// Append writes one record.
+func (sw *Writer) Append(payload []byte) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if err := sw.write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if err := sw.write(payload); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(payload)
+	return sw.write(sum[:])
+}
+
+// Bytes returns the total bytes written so far, header included.
+func (sw *Writer) Bytes() int64 { return sw.bytes }
+
+// ReadSegment reads a whole segment stream, validating the magic and every
+// record checksum. Any malformation — zero-length file, bad magic,
+// truncated length/payload/checksum, checksum mismatch — is reported as an
+// error wrapping ErrCorrupt; a partial prefix of records is never returned.
+func ReadSegment(r io.Reader) ([][]byte, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, corruptf("segment header (%v)", err)
+	}
+	if string(magic) != segmentMagic {
+		return nil, corruptf("segment magic %q", magic)
+	}
+	var records [][]byte
+	for {
+		length, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return records, nil
+		}
+		if err != nil {
+			return nil, corruptf("record %d length (%v)", len(records), err)
+		}
+		if length > maxRecordLen {
+			return nil, corruptf("record %d length %d exceeds limit", len(records), length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, corruptf("record %d payload (%v)", len(records), err)
+		}
+		var sum [sha256.Size]byte
+		if _, err := io.ReadFull(br, sum[:]); err != nil {
+			return nil, corruptf("record %d checksum (%v)", len(records), err)
+		}
+		if sha256.Sum256(payload) != sum {
+			return nil, corruptf("record %d checksum mismatch", len(records))
+		}
+		records = append(records, payload)
+	}
+}
+
+// ReadSegmentFile reads and validates the segment file at path.
+func ReadSegmentFile(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadSegment(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// WriteFileAtomic publishes a file crash-safely: the write callback
+// produces the content into a temp file in the target directory, the temp
+// file is fsynced and closed, atomically renamed over path, and the
+// directory is fsynced so the rename itself is durable. A crash at any
+// point leaves either the previous file or the complete new one under
+// path — never a torn intermediate. Returns the number of bytes written.
+func WriteFileAtomic(path string, write func(io.Writer) (int64, error)) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	n, err := write(tmp)
+	if err != nil {
+		cleanup()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("checkpoint: fsync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("checkpoint: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives power
+// loss. Filesystems that refuse to sync directories (some network mounts)
+// degrade to rename-only atomicity, which is still torn-write safe.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return fmt.Errorf("checkpoint: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}

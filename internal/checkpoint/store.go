@@ -1,0 +1,129 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNoCheckpoint is returned by Latest when the store holds no loadable
+// snapshot (empty directory, or every file corrupt).
+var ErrNoCheckpoint = errors.New("checkpoint: no loadable snapshot in store")
+
+// keepSnapshots is how many snapshot files Save retains. Two, so the
+// newest can be corrupt (torn disk at rename, bad sector) and the run
+// still resumes from the one before it.
+const keepSnapshots = 2
+
+// Store manages a directory of snapshot segment files, named
+// snap-<seq>.ckpt. Save publishes each snapshot atomically and prunes old
+// ones; Latest loads the newest file that decodes cleanly.
+type Store struct {
+	dir string
+}
+
+// Open creates the directory if needed and returns a store on it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: store dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snap-%012d.ckpt", seq))
+}
+
+// Save publishes snap atomically under its Meta.Seq and prunes all but the
+// newest keepSnapshots files. Returns the bytes written.
+func (s *Store) Save(snap *Snapshot) (int64, error) {
+	records := snap.encodeRecords()
+	n, err := WriteFileAtomic(s.path(snap.Meta.Seq), func(w io.Writer) (int64, error) {
+		sw, err := NewWriter(w)
+		if err != nil {
+			return 0, err
+		}
+		for _, rec := range records {
+			if err := sw.Append(rec); err != nil {
+				return sw.Bytes(), err
+			}
+		}
+		return sw.Bytes(), nil
+	})
+	if err != nil {
+		return n, err
+	}
+	s.prune()
+	return n, nil
+}
+
+// files returns the snapshot filenames in the store, newest (highest seq)
+// first. Temp files and foreign names are ignored.
+func (s *Store) files() []string {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".ckpt") {
+			names = append(names, name)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names
+}
+
+func (s *Store) prune() {
+	names := s.files()
+	if len(names) <= keepSnapshots {
+		return
+	}
+	for _, name := range names[keepSnapshots:] {
+		os.Remove(filepath.Join(s.dir, name))
+	}
+}
+
+// Latest loads the newest snapshot that passes every integrity check,
+// skipping (and reporting via the skipped list) corrupt files. It returns
+// ErrNoCheckpoint when nothing loads.
+func (s *Store) Latest() (*Snapshot, error) {
+	snap, skipped, err := s.latest()
+	if err != nil && len(skipped) > 0 {
+		return nil, fmt.Errorf("%w (skipped corrupt: %s)", err, strings.Join(skipped, ", "))
+	}
+	return snap, err
+}
+
+func (s *Store) latest() (*Snapshot, []string, error) {
+	var skipped []string
+	for _, name := range s.files() {
+		path := filepath.Join(s.dir, name)
+		records, err := ReadSegmentFile(path)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				skipped = append(skipped, fmt.Sprintf("%s (%v)", name, err))
+				continue
+			}
+			return nil, skipped, err
+		}
+		snap, err := DecodeSnapshot(records)
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s (%v)", name, err))
+			continue
+		}
+		return snap, skipped, nil
+	}
+	return nil, skipped, ErrNoCheckpoint
+}

@@ -84,6 +84,28 @@ type Options struct {
 	// BFS level, never per configuration (the allocation-regression tests
 	// guard this).
 	Obs *obs.Scope
+	// Snapshot, when non-nil, is invoked from the calling goroutine at
+	// every BFS level boundary, before the frontier at Snapshotter.Depth is
+	// expanded. Hooks that persist checkpoints decide cheaply (one clock
+	// read) whether a save is due and call Snapshotter.Data only then.
+	Snapshot func(*Snapshotter)
+	// ResumeFrom, when non-nil, restores a search frozen by
+	// Snapshotter.Data instead of starting at the root: counters, node
+	// forest and visited set are restored verbatim, the frontier is rebuilt
+	// by path replay, and no previously visited configuration is re-visited.
+	// The options must otherwise match the checkpointed run's — resuming
+	// under a different key function or cap is unsound, and the caller
+	// (internal/valency) enforces that match.
+	ResumeFrom *LevelCheckpoint
+	// SpillDir, with a positive SpillBudget, enables the frontier spill
+	// governor: when the accumulating next level exceeds SpillBudget bytes
+	// of retained configurations, cold chunks are flushed to id-list files
+	// under SpillDir and rebuilt by path replay when their turn comes.
+	// Spilling never changes visit order, ids or witness paths.
+	SpillDir string
+	// SpillBudget is the approximate in-memory frontier byte budget; <= 0
+	// disables spilling.
+	SpillBudget int64
 }
 
 // ConfigKey returns the state identity of c under these options, in its
@@ -144,6 +166,9 @@ type Result struct {
 	// PeakFrontier is the largest BFS level encountered: the high-water
 	// mark of configurations simultaneously retained by the search.
 	PeakFrontier int
+	// Depth is the deepest BFS level at which a configuration was visited
+	// (the schedule length of the longest witness path).
+	Depth int
 
 	nodes []node
 }
@@ -244,77 +269,108 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 		scratch:    newWorkerScratch(),
 	}
 	defer s.stopWorkers()
+	gov := newSpillGovernor(&opts, c)
 
-	s.visited.Add(s.scratch.fingerprint(&opts, c))
-	res.nodes = append(res.nodes, node{parent: 0})
-	res.Count = 1
-	res.PeakFrontier = 1
-	if visit != nil && !visit(Visit{Config: c, ID: 0, Depth: 0}) {
-		res.Capped = true
-		return res, fmt.Errorf("reach from %d procs: %w", len(p), ErrCapped)
+	var level, next frontier
+	defer func() { level.discard(); next.discard() }()
+	depth := int32(0)
+	if opts.ResumeFrom != nil {
+		if err := s.restore(opts.ResumeFrom, res, &level, c); err != nil {
+			return res, err
+		}
+		depth = int32(opts.ResumeFrom.Depth)
+	} else {
+		s.visited.Add(s.scratch.fingerprint(&opts, c))
+		res.nodes = append(res.nodes, node{parent: 0})
+		res.Count = 1
+		res.PeakFrontier = 1
+		if visit != nil && !visit(Visit{Config: c, ID: 0, Depth: 0}) {
+			res.Capped = true
+			return res, fmt.Errorf("reach from %d procs: %w", len(p), ErrCapped)
+		}
+		level.mem = append(level.mem, levelEntry{cfg: c, id: 0})
 	}
 
-	level := []levelEntry{{cfg: c, id: 0}}
-	var next []levelEntry
-	depth := int32(0)
-	for len(level) > 0 {
+	var chunkBuf []levelEntry
+	for level.size() > 0 {
+		if opts.Snapshot != nil {
+			opts.Snapshot(&Snapshotter{s: s, res: res, level: &level, depth: int(depth)})
+		}
 		if opts.MaxDepth > 0 && int(depth) >= opts.MaxDepth {
 			// The frontier beyond the depth cap is not expanded; the
 			// space was not exhausted.
 			res.Capped = true
 			break
 		}
-		if len(level) > res.PeakFrontier {
-			res.PeakFrontier = len(level)
+		if n := level.size(); n > res.PeakFrontier {
+			res.PeakFrontier = n
 		}
-		chunks := s.expandLevel(level)
-		if err := ctx.Err(); err != nil {
-			res.Capped = true
-			return res, fmt.Errorf("reach cancelled after %d configs: %w (and %w)", res.Count, err, ErrCapped)
-		}
-		// Merge the chunks in their deterministic order: IDs, visit
-		// order and caps do not depend on the worker count.
-		next = next[:0]
+		// The consumed frontier two levels back becomes the next
+		// accumulator; clearing it drops its configuration references, so
+		// the frontier's live heap stays bounded by two adjacent levels
+		// (see TestReachFrontierBoundedLiveHeap).
+		next.clear()
 		levelDups := 0
-		for _, ch := range chunks {
-			res.Steps += ch.dupSteps
-			levelDups += ch.dupSteps
-			for i := range ch.slots {
-				sl := &ch.slots[i]
-				res.Steps++
-				if res.Steps%cancelCheckInterval == 0 {
-					if err := ctx.Err(); err != nil {
-						res.Capped = true
-						return res, fmt.Errorf("reach cancelled after %d configs: %w (and %w)", res.Count, err, ErrCapped)
+		// Drain the level batch by batch — each spilled chunk, then the
+		// in-memory tail — merging every batch's chunks in their
+		// deterministic order: IDs, visit order and caps depend on neither
+		// the worker count nor the spill layout.
+		err := func() error {
+			for bi := 0; bi < level.numBatches(); bi++ {
+				batch, err := level.batch(bi, res, c, &chunkBuf)
+				if err != nil {
+					res.Capped = true
+					return fmt.Errorf("reach spill: %w (and %w)", err, ErrCapped)
+				}
+				chunks := s.expandLevel(batch)
+				if err := ctx.Err(); err != nil {
+					res.Capped = true
+					return fmt.Errorf("reach cancelled after %d configs: %w (and %w)", res.Count, err, ErrCapped)
+				}
+				for _, ch := range chunks {
+					res.Steps += ch.dupSteps
+					levelDups += ch.dupSteps
+					for i := range ch.slots {
+						sl := &ch.slots[i]
+						res.Steps++
+						if res.Steps%cancelCheckInterval == 0 {
+							if err := ctx.Err(); err != nil {
+								res.Capped = true
+								return fmt.Errorf("reach cancelled after %d configs: %w (and %w)", res.Count, err, ErrCapped)
+							}
+						}
+						id := int32(len(res.nodes))
+						res.nodes = append(res.nodes, node{parent: sl.parent, depth: depth + 1, via: sl.via})
+						res.Count++
+						if visit != nil && !visit(Visit{Config: sl.cfg, ID: int(id), Depth: int(depth + 1)}) {
+							res.Capped = true
+							return fmt.Errorf("reach visit stop: %w", ErrCapped)
+						}
+						if res.Count >= maxConfigs {
+							res.Capped = true
+							return fmt.Errorf("reach hit %d configs: %w", maxConfigs, ErrCapped)
+						}
+						next.add(levelEntry{cfg: sl.cfg, id: id}, gov)
 					}
 				}
-				id := int32(len(res.nodes))
-				res.nodes = append(res.nodes, node{parent: sl.parent, depth: depth + 1, via: sl.via})
-				res.Count++
-				if visit != nil && !visit(Visit{Config: sl.cfg, ID: int(id), Depth: int(depth + 1)}) {
-					res.Capped = true
-					return res, fmt.Errorf("reach visit stop: %w", ErrCapped)
-				}
-				if res.Count >= maxConfigs {
-					res.Capped = true
-					return res, fmt.Errorf("reach hit %d configs: %w", maxConfigs, ErrCapped)
-				}
-				next = append(next, levelEntry{cfg: sl.cfg, id: id})
 			}
+			return nil
+		}()
+		if err != nil {
+			return res, err
+		}
+		if next.size() > 0 {
+			res.Depth = int(depth) + 1
 		}
 		if opts.Obs != nil {
 			opts.Obs.ExploreLevel(obs.Level{
 				Depth:    int(depth) + 1,
-				Frontier: len(next),
+				Frontier: next.size(),
 				Dup:      levelDups,
 				Configs:  res.Count,
 				Steps:    res.Steps,
 			})
 		}
-		// Swap the level buffers: the consumed level's entries were
-		// overwritten by next[:0] appends or go out of live reach here,
-		// so the frontier's live heap is bounded by two adjacent levels
-		// (see TestReachFrontierBoundedLiveHeap).
 		level, next = next, level
 		depth++
 	}

@@ -131,3 +131,20 @@ func (s *fpSet) Add(fp Fingerprint) bool {
 // be momentarily stale while workers race Adds; the engine only uses it as
 // a soft overflow brake, never for exact accounting.
 func (s *fpSet) Len() int { return int(s.count.Load()) }
+
+// dump returns every fingerprint in the set, in unspecified order (the set
+// is unordered, so checkpoint files may differ between runs even when the
+// resumed results do not). Called at level boundaries, when no worker holds
+// a shard.
+func (s *fpSet) dump() []Fingerprint {
+	out := make([]Fingerprint, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for fp := range sh.m {
+			out = append(out, fp)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package explore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// The frontier spill governor. Full configurations live only on the BFS
+// frontier, so the frontier IS the search's memory footprint; on spaces
+// whose widest level outgrows RAM, the governor flushes cold chunks of the
+// accumulating next level to disk as id-lists and drops their
+// configurations. A spilled chunk costs a few bytes per entry on disk and
+// nothing in RAM; when its turn comes it is rebuilt by replaying each id's
+// witness path from the root. Chunks are flushed from the front of the
+// level and consumed before the in-memory remainder, so the visit order —
+// and therefore every id and witness path — is identical to an unspilled
+// run.
+
+// frontier holds one BFS level as spilled chunks (cold, on disk) followed
+// by in-memory entries (hot), in visit order.
+type frontier struct {
+	spilled  []spillChunk
+	mem      []levelEntry
+	memBytes int64
+}
+
+// size returns the number of entries across disk and memory.
+func (f *frontier) size() int {
+	n := len(f.mem)
+	for _, ch := range f.spilled {
+		n += ch.count
+	}
+	return n
+}
+
+// add appends a freshly discovered entry, charging it to the governor's
+// budget and spilling the accumulated tail when over.
+func (f *frontier) add(e levelEntry, g *spillGovernor) {
+	f.mem = append(f.mem, e)
+	if g != nil {
+		f.memBytes += g.entrySize
+		g.maybeSpill(f)
+	}
+}
+
+// numBatches returns how many expansion batches the level drains in: one
+// per spilled chunk plus one for the in-memory tail.
+func (f *frontier) numBatches() int {
+	n := len(f.spilled)
+	if len(f.mem) > 0 {
+		n++
+	}
+	return n
+}
+
+// batch returns the bi-th batch in frontier order, consuming (reading and
+// deleting) spill files as their turn comes.
+func (f *frontier) batch(bi int, res *Result, root model.Config, buf *[]levelEntry) ([]levelEntry, error) {
+	if bi < len(f.spilled) {
+		return f.spilled[bi].load(res, root, buf)
+	}
+	return f.mem, nil
+}
+
+// ids returns the node ids of every entry in order, reading (but not
+// consuming) spilled chunks. Snapshots use it.
+func (f *frontier) ids() ([]int32, error) {
+	out := make([]int32, 0, f.size())
+	for i := range f.spilled {
+		ids, err := readSpillChunk(f.spilled[i].path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ids...)
+	}
+	for _, e := range f.mem {
+		out = append(out, e.id)
+	}
+	return out, nil
+}
+
+// clear retires a consumed frontier for reuse as the next accumulator:
+// configuration references are dropped so the previous level's heap can be
+// collected, and stray spill files are deleted.
+func (f *frontier) clear() {
+	f.discard()
+	clear(f.mem)
+	f.mem = f.mem[:0]
+	f.memBytes = 0
+	f.spilled = f.spilled[:0]
+}
+
+// discard deletes any spill files still on disk (normal drains consume
+// them all; early exits leave the tail for this to sweep).
+func (f *frontier) discard() {
+	for i := range f.spilled {
+		if p := f.spilled[i].path; p != "" {
+			os.Remove(p)
+		}
+	}
+}
+
+// spillChunk is one flushed run of frontier entries: an id-list file plus
+// its entry count.
+type spillChunk struct {
+	path  string
+	count int
+}
+
+// load reads the chunk back, deletes its file, and rebuilds each entry's
+// configuration by path replay into buf.
+func (ch *spillChunk) load(res *Result, root model.Config, buf *[]levelEntry) ([]levelEntry, error) {
+	ids, err := readSpillChunk(ch.path)
+	if err != nil {
+		return nil, err
+	}
+	os.Remove(ch.path)
+	ch.path = ""
+	entries := (*buf)[:0]
+	for _, id := range ids {
+		cfg, err := replayTo(res, root, int(id))
+		if err != nil {
+			return nil, fmt.Errorf("explore: spilled frontier: %w", err)
+		}
+		entries = append(entries, levelEntry{cfg: cfg, id: id})
+	}
+	*buf = entries
+	return entries, nil
+}
+
+// spillGovernor owns the budget policy. nil disables spilling entirely.
+type spillGovernor struct {
+	dir       string
+	budget    int64
+	entrySize int64
+	scope     *obs.Scope
+	disabled  bool
+}
+
+func newSpillGovernor(opts *Options, root model.Config) *spillGovernor {
+	if opts.SpillDir == "" || opts.SpillBudget <= 0 {
+		return nil
+	}
+	return &spillGovernor{
+		dir:    opts.SpillDir,
+		budget: opts.SpillBudget,
+		// A frontier entry retains one immutable Config: two slice headers
+		// plus per-process state and per-register values. The constants are
+		// a deliberate overestimate — the budget is a brake, not an
+		// accounting system.
+		entrySize: 96 + 48*int64(root.NumProcesses()+root.NumRegisters()),
+		scope:     opts.Obs,
+	}
+}
+
+// maybeSpill flushes the accumulated in-memory tail once it exceeds the
+// budget. A write failure disables the governor for the rest of the search
+// — spilling is a memory optimisation, never worth failing a proof over —
+// and is reported as a trace event.
+func (g *spillGovernor) maybeSpill(f *frontier) {
+	if g.disabled || f.memBytes <= g.budget || len(f.mem) == 0 {
+		return
+	}
+	path, bytes, err := writeSpillChunk(g.dir, f.mem)
+	if err != nil {
+		g.disabled = true
+		g.scope.Event("spill_error", slog.String("err", err.Error()))
+		return
+	}
+	g.scope.Counter("spill_chunks").Add(1)
+	g.scope.Counter("spill_bytes").Add(bytes)
+	g.scope.Event("spill_chunk",
+		slog.Int("entries", len(f.mem)),
+		slog.Int64("bytes", bytes),
+	)
+	f.spilled = append(f.spilled, spillChunk{path: path, count: len(f.mem)})
+	clear(f.mem)
+	f.mem = f.mem[:0]
+	f.memBytes = 0
+}
+
+// writeSpillChunk writes the entries' ids as a count-prefixed uvarint list
+// to a fresh file in dir. Spill files are transient scratch consumed by the
+// same process — they never survive a crash, so unlike checkpoint segments
+// they carry no checksums or fsync.
+func writeSpillChunk(dir string, entries []levelEntry) (string, int64, error) {
+	f, err := os.CreateTemp(dir, "frontier-*.spill")
+	if err != nil {
+		return "", 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var buf [binary.MaxVarintLen64]byte
+	written := int64(0)
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		written += int64(n)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	werr := put(uint64(len(entries)))
+	for i := 0; werr == nil && i < len(entries); i++ {
+		werr = put(uint64(entries[i].id))
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(f.Name())
+		return "", 0, werr
+	}
+	return f.Name(), written, nil
+}
+
+// readSpillChunk reads an id-list file back.
+func readSpillChunk(path string) ([]int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("explore: spill chunk %s: %w", path, err)
+	}
+	ids := make([]int32, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("explore: spill chunk %s entry %d: %w", path, i, err)
+		}
+		ids = append(ids, int32(v))
+	}
+	return ids, nil
+}

@@ -1,0 +1,52 @@
+package faults
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrWriteCrashed is the error a CrashWriter returns once its byte budget
+// is exhausted: the moment the simulated process dies mid-write.
+var ErrWriteCrashed = errors.New("faults: simulated crash during write")
+
+// CrashWriter wraps an io.Writer and fails deterministically after Limit
+// bytes, simulating a process killed partway through writing a file. The
+// first Limit bytes reach the underlying writer — like a real crash, the
+// prefix is durable and the tail is gone — and every write after the budget
+// is exhausted returns ErrWriteCrashed. A Limit that falls inside a Write call
+// forwards the surviving prefix and reports a short write.
+//
+// It is the storage-side sibling of CrashStop: where a Plan kills a process
+// between shared-memory operations, a CrashWriter kills it between (or
+// inside) file writes, which is exactly the failure a crash-safe
+// checkpoint format must shrug off.
+type CrashWriter struct {
+	W io.Writer
+	// Limit is the number of bytes written successfully before the crash.
+	Limit int64
+
+	written int64
+}
+
+// Write forwards p (or its surviving prefix) and fails once Limit bytes
+// have been written.
+func (c *CrashWriter) Write(p []byte) (int, error) {
+	remaining := c.Limit - c.written
+	if remaining <= 0 {
+		return 0, ErrWriteCrashed
+	}
+	if int64(len(p)) <= remaining {
+		n, err := c.W.Write(p)
+		c.written += int64(n)
+		return n, err
+	}
+	n, err := c.W.Write(p[:remaining])
+	c.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, ErrWriteCrashed
+}
+
+// Written reports how many bytes survived the crash.
+func (c *CrashWriter) Written() int64 { return c.written }

@@ -20,6 +20,7 @@ type Progress struct {
 	peakFrontier atomic.Int64
 	configs      atomic.Int64 // configurations visited, cumulative
 	spans        atomic.Int64 // spans opened so far
+	lastCkpt     atomic.Int64 // unix nanos of the last checkpoint save, 0 = none
 }
 
 // NewProgress returns a progress tracker whose clock starts now.
@@ -46,6 +47,16 @@ func (p *Progress) Level(depth, frontier, configs int) {
 	p.prevFrontier.Store(p.frontier.Swap(int64(frontier)))
 	raiseTo(&p.peakFrontier, int64(frontier))
 	p.configs.Add(int64(configs))
+}
+
+// Checkpoint records that a checkpoint was saved now; /progress reports its
+// age so an operator can tell a healthy run from one whose persistence has
+// silently stalled. Safe on nil.
+func (p *Progress) Checkpoint() {
+	if p == nil {
+		return
+	}
+	p.lastCkpt.Store(time.Now().UnixNano())
 }
 
 // raiseTo raises the atomic to v if larger (a lock-free high-water mark).
@@ -80,23 +91,30 @@ type Snapshot struct {
 	// (ratio r < 1) the remaining work is about frontier*r/(1-r)
 	// configurations. -1 means no estimate (growing or too early).
 	EtaSec float64 `json:"eta_sec"`
+	// CheckpointAgeSec is the time since the last checkpoint save, -1 when
+	// the run has never checkpointed (or checkpointing is off).
+	CheckpointAgeSec float64 `json:"checkpoint_age_sec"`
 }
 
 // Snapshot returns the current progress. Safe on nil (zero snapshot).
 func (p *Progress) Snapshot() Snapshot {
 	if p == nil {
-		return Snapshot{EtaSec: -1}
+		return Snapshot{EtaSec: -1, CheckpointAgeSec: -1}
 	}
 	elapsed := time.Since(p.start).Seconds()
 	s := Snapshot{
-		Phase:         p.phase.Load().(string),
-		ElapsedSec:    elapsed,
-		FrontierDepth: p.depth.Load(),
-		FrontierSize:  p.frontier.Load(),
-		PeakFrontier:  p.peakFrontier.Load(),
-		Configs:       p.configs.Load(),
-		Spans:         p.spans.Load(),
-		EtaSec:        -1,
+		Phase:            p.phase.Load().(string),
+		ElapsedSec:       elapsed,
+		FrontierDepth:    p.depth.Load(),
+		FrontierSize:     p.frontier.Load(),
+		PeakFrontier:     p.peakFrontier.Load(),
+		Configs:          p.configs.Load(),
+		Spans:            p.spans.Load(),
+		EtaSec:           -1,
+		CheckpointAgeSec: -1,
+	}
+	if ck := p.lastCkpt.Load(); ck != 0 {
+		s.CheckpointAgeSec = time.Since(time.Unix(0, ck)).Seconds()
 	}
 	if elapsed > 0 {
 		s.ConfigsPerSec = float64(s.Configs) / elapsed

@@ -105,6 +105,18 @@ func (s *Scope) SetPhase(format string, args ...any) {
 	s.tr.Event("phase", slog.String("phase", phase))
 }
 
+// CheckpointSaved records one successful checkpoint write: bumps the
+// checkpoint_writes/checkpoint_bytes counters and refreshes the
+// last-checkpoint timestamp behind /progress. Safe on nil.
+func (s *Scope) CheckpointSaved(bytes int64) {
+	if s == nil {
+		return
+	}
+	s.reg.Counter("checkpoint_writes").Add(1)
+	s.reg.Counter("checkpoint_bytes").Add(bytes)
+	s.prog.Checkpoint()
+}
+
 // Level describes one completed BFS level of an exploration, the unit at
 // which the engine reports (internal/explore calls ExploreLevel once per
 // level, whatever the level's size).

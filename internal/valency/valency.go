@@ -31,6 +31,7 @@ import (
 	"log/slog"
 	"slices"
 
+	"repro/internal/checkpoint"
 	"repro/internal/explore"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -107,6 +108,12 @@ type Oracle struct {
 	// pointer is nil and each Add is a single nil-check (per query, never
 	// per configuration).
 	metrics oracleMetrics
+	// ckpt, when set, receives save opportunities between queries and at
+	// the BFS level boundaries of exhaustive searches (SetCheckpointer).
+	ckpt *checkpoint.Coordinator
+	// resume, when set, is a loaded in-flight query waiting for its
+	// matching search (SetResume); consumed by the first match.
+	resume *checkpoint.QueryData
 }
 
 // oracleMetrics mirrors Stats into the observability registry, live, so
@@ -142,6 +149,9 @@ type Stats struct {
 	// Configs is the total number of distinct configurations visited
 	// across all non-memoised queries, solo searches included.
 	Configs int
+	// DeepestLevel is the deepest completed BFS level any search of this
+	// oracle reached (partial-progress reporting keys on it).
+	DeepestLevel int
 }
 
 // Verdict is the answer to one valency query.
@@ -245,8 +255,36 @@ func (o *Oracle) seedSolo(ctx context.Context, c model.Config, p []int, verdict 
 // exploreDecidable runs the exhaustive p-only search, folding decided
 // values into verdict. Values already seeded keep their witnesses; the
 // search stops as soon as the verdict is bivalent.
-func (o *Oracle) exploreDecidable(ctx context.Context, c model.Config, p []int, opts explore.Options, verdict *Verdict) error {
+//
+// With a checkpointer attached, every BFS level boundary offers an
+// in-flight snapshot keyed by (key, effective cap); and when a loaded
+// snapshot with that exact key is pending, the search re-enters at its
+// stored level, with the values it had already discovered pre-seeded.
+func (o *Oracle) exploreDecidable(ctx context.Context, key queryKey, c model.Config, p []int, opts explore.Options, verdict *Verdict) error {
 	witnessIDs := make(map[model.Value]int)
+	if o.ckpt != nil {
+		effMax := effectiveMax(opts)
+		opts.Snapshot = func(sn *explore.Snapshotter) {
+			o.ckpt.TickQuery(func() *checkpoint.QueryData {
+				data, err := sn.Data()
+				if err != nil {
+					return nil
+				}
+				return buildQueryData(key, effMax, data, witnessIDs)
+			})
+		}
+	}
+	if q := o.resume; q != nil && explore.Fingerprint(q.FP) == key.fp && q.Pids == key.pids && q.MaxConfigs == effectiveMax(opts) {
+		o.resume = nil
+		opts.ResumeFrom = restoreQueryData(q)
+		for _, f := range q.Found {
+			val := model.Value(f.Value)
+			if !verdict.Decidable[val] {
+				verdict.Decidable[val] = true
+				witnessIDs[val] = f.ID
+			}
+		}
+	}
 	res, err := explore.Reach(ctx, c, p, opts, func(v explore.Visit) bool {
 		for val := range v.Config.DecidedValues() {
 			if !verdict.Decidable[val] {
@@ -260,6 +298,7 @@ func (o *Oracle) exploreDecidable(ctx context.Context, c model.Config, p []int, 
 		return !(verdict.Decidable[V0] && verdict.Decidable[V1])
 	})
 	o.stats.Configs += res.Count
+	o.stats.DeepestLevel = max(o.stats.DeepestLevel, res.Depth)
 	o.metrics.configs.Add(int64(res.Count))
 	o.metrics.queryConfigs.Observe(int64(res.Count))
 	for val, id := range witnessIDs {
@@ -302,7 +341,7 @@ func (o *Oracle) Decidable(ctx context.Context, c model.Config, p []int) (*Verdi
 	}
 	sp := o.opts.Obs.StartSpan("valency_decidable", slog.Int("procs", len(p)))
 	before := o.stats.Configs
-	err = o.exploreDecidable(ctx, c, p, o.opts, verdict)
+	err = o.exploreDecidable(ctx, key, c, p, o.opts, verdict)
 	sp.End(slog.Int("configs", o.stats.Configs-before), slog.Bool("bivalent", verdict.Bivalent()))
 	// A capped search that already proved bivalence is still exact:
 	// decidable sets only grow, and {0,1} is maximal.
@@ -310,6 +349,7 @@ func (o *Oracle) Decidable(ctx context.Context, c model.Config, p []int) (*Verdi
 		return nil, fmt.Errorf("valency query |P|=%d: %w", len(p), err)
 	}
 	o.memo.verdicts[key] = verdict
+	o.ckpt.Tick()
 	return verdict, nil
 }
 
@@ -356,17 +396,19 @@ func (o *Oracle) ProbeBivalent(ctx context.Context, c model.Config, p []int, bud
 	} else if budget > 0 && opts.MaxConfigs <= 0 && budget < explore.DefaultMaxConfigs {
 		opts.MaxConfigs = budget
 	}
-	err = o.exploreDecidable(ctx, c, p, opts, verdict)
+	err = o.exploreDecidable(ctx, key, c, p, opts, verdict)
 	switch {
 	case verdict.Bivalent():
 		o.memo.verdicts[key] = verdict
 		o.probeOutcome(p, "search-certificate", true)
+		o.ckpt.Tick()
 		return true, nil
 	case err == nil:
 		// The p-only space was exhausted within budget: the verdict is
 		// exact (and not bivalent), so memoise it like Decidable would.
 		o.memo.verdicts[key] = verdict
 		o.probeOutcome(p, "exhausted", false)
+		o.ckpt.Tick()
 		return false, nil
 	case ctx.Err() != nil:
 		return false, fmt.Errorf("valency probe |P|=%d: %w", len(p), err)
@@ -464,6 +506,7 @@ func (o *Oracle) SoloDeciding(ctx context.Context, c model.Config, pid int) (mod
 	})
 	sp.End(slog.Int("configs", res.Count), slog.Bool("decided", foundID >= 0))
 	o.stats.Configs += res.Count
+	o.stats.DeepestLevel = max(o.stats.DeepestLevel, res.Depth)
 	o.metrics.configs.Add(int64(res.Count))
 	if foundID < 0 {
 		if err != nil {
