@@ -8,7 +8,15 @@
 //	spacebound [-protocol diskrace] [-n 3] [-max-configs 0] [-workers 0] [-timeout 0] [-figures] [-transcript]
 //	           [-debug-addr host:port] [-trace-out trace.jsonl]
 //	           [-checkpoint-dir dir] [-checkpoint-every 30s] [-resume] [-spill-budget bytes]
-//	           [-witness-out witness.txt]
+//	           [-witness-out witness.txt] [-server http://host:port]
+//
+// -server submits the construction to a running provesrv instance instead
+// of executing it locally: the job is posted to the server's /jobs API,
+// polled until it settles, and the served witness is printed along with
+// its verified Merkle inclusion proof from the server's witness ledger.
+// -protocol, -n, -max-configs, -workers and -timeout describe the job
+// exactly as they would a local run ( -timeout becomes the job's
+// per-attempt budget server-side and also bounds the client's wait).
 //
 // -debug-addr starts the live observability endpoint (/debug/pprof,
 // /debug/vars, /progress) for watching or profiling a long construction;
@@ -28,8 +36,10 @@
 //
 // Exit codes: 0 on a complete, verified witness, 3 when a -timeout or
 // -max-configs budget interrupted the construction (the partial progress is
-// printed to stderr), 4 if the finished witness fails independent
-// verification, 1 on any other failure.
+// printed to stderr; with -server, also when the client's wait timed out),
+// 4 if the finished witness fails independent verification (with -server:
+// the inclusion proof or witness hash does not verify), 1 on any other
+// failure.
 package main
 
 import (
@@ -40,7 +50,6 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
-	"strings"
 	"time"
 
 	"repro/internal/adversary"
@@ -50,6 +59,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/valency"
 )
@@ -57,6 +67,10 @@ import (
 // errVerifyFailed tags a witness that completed but failed the independent
 // replay audit; main maps it to exit code 4.
 var errVerifyFailed = errors.New("witness failed independent verification")
+
+// errInterrupted tags a remote wait stopped by the client's own budget;
+// main maps it to exit code 3, like a local budget interruption.
+var errInterrupted = errors.New("interrupted while waiting for the server")
 
 func main() {
 	if err := run(); err != nil {
@@ -67,7 +81,10 @@ func main() {
 			os.Exit(3)
 		}
 		fmt.Fprintln(os.Stderr, "spacebound:", err)
-		if errors.Is(err, errVerifyFailed) {
+		switch {
+		case errors.Is(err, errInterrupted):
+			os.Exit(3)
+		case errors.Is(err, errVerifyFailed):
 			os.Exit(4)
 		}
 		os.Exit(1)
@@ -89,7 +106,24 @@ func run() error {
 	resume := flag.Bool("resume", false, "resume from the newest snapshot in -checkpoint-dir")
 	spillBudget := flag.Int64("spill-budget", 0, "approximate in-memory frontier budget in bytes; beyond it cold chunks spill to <checkpoint-dir>/spill (0 = never spill)")
 	witnessOut := flag.String("witness-out", "", "write the rendered witness here atomically, with a .sha256 sidecar (empty = off)")
+	serverURL := flag.String("server", "", "submit to a provesrv instance at this base URL instead of running locally")
 	flag.Parse()
+
+	if *serverURL != "" {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		return runRemote(ctx, *serverURL, server.JobSpec{
+			Protocol:   *protocol,
+			N:          *n,
+			MaxConfigs: *maxConfigs,
+			Workers:    *workers,
+			TimeoutMS:  timeout.Milliseconds(),
+		}, *witnessOut)
+	}
 
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
@@ -165,7 +199,7 @@ func run() error {
 	}
 
 	if *witnessOut != "" {
-		if err := checkpoint.WriteArtifact(*witnessOut, []byte(renderWitness(w))); err != nil {
+		if err := checkpoint.WriteArtifact(*witnessOut, []byte(trace.RenderWitness(w))); err != nil {
 			return fmt.Errorf("witness artifact: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "spacebound: witness written to %s (+.sha256)\n", *witnessOut)
@@ -227,17 +261,4 @@ func buildEngine(opts explore.Options, scope *obs.Scope, protocol string, n int,
 	fmt.Fprintf(os.Stderr, "spacebound: resuming from snapshot %d, stage %q (%d memoised verdicts, in-flight query depth %d)\n",
 		snap.Meta.Seq, snap.Meta.Stage, verdicts, queryDepth)
 	return engine, coord, nil
-}
-
-// renderWitness is the artifact body: everything the proof claims, nothing
-// the run's performance influenced. A resumed run must reproduce this byte
-// for byte, so oracle statistics and timings are deliberately excluded.
-func renderWitness(w *adversary.Theorem1Witness) string {
-	var b strings.Builder
-	b.WriteString(w.String())
-	b.WriteString("\n\n")
-	b.WriteString(trace.CoverTable(w))
-	b.WriteString("\n")
-	b.WriteString(trace.Theorem1DOT(w))
-	return b.String()
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/server"
 )
 
 // buildBinary compiles the spacebound command once into dir.
@@ -146,5 +148,44 @@ func TestVerifierRejectsTamperedArtifact(t *testing.T) {
 	}
 	if err := checkpoint.VerifyArtifact(out); err == nil {
 		t.Fatal("tampered artifact passed verification")
+	}
+}
+
+// TestServerSubmitMode drives -server against an in-process job server:
+// the binary must submit, poll, print the served witness, and verify the
+// ledger inclusion proof locally.
+func TestServerSubmitMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	work := t.TempDir()
+	bin := buildBinary(t, work)
+	srv, err := server.New(server.Options{
+		DataDir:   filepath.Join(work, "data"),
+		Workers:   1,
+		BatchWait: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+
+	out, errOut := runBinary(t, bin,
+		"-server", ts.URL, "-protocol", "diskrace", "-n", "3", "-witness-out",
+		filepath.Join(work, "remote.txt"))
+	if !strings.Contains(out, "distinct registers witnessed") {
+		t.Fatalf("no witness in output:\n%s", out)
+	}
+	if !strings.Contains(errOut, "inclusion proof checked locally") {
+		t.Fatalf("no proof verification confirmation:\n%s", errOut)
+	}
+	if err := checkpoint.VerifyArtifact(filepath.Join(work, "remote.txt")); err != nil {
+		t.Fatalf("remote witness artifact: %v", err)
 	}
 }

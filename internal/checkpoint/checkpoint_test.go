@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // sampleSnapshot exercises every section and field of the schema.
@@ -358,6 +359,118 @@ func TestCoordinatorSurvivesSaveFailure(t *testing.T) {
 	}
 	if snap.Meta.Seq != 1 {
 		t.Fatalf("first successful save has seq %d, want 1", snap.Meta.Seq)
+	}
+}
+
+// TestScanSegmentTornTail appends a partial record to a valid segment and
+// checks ScanSegment keeps the intact prefix and reports exactly where it
+// ends — the contract the append-only ledger's reopen path truncates by.
+func TestScanSegmentTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	sw, _ := NewWriter(&buf)
+	sw.Append([]byte("first"))
+	sw.Append([]byte("second"))
+	intact := int64(buf.Len())
+
+	// A clean stream: both records, offset at EOF, no tail error.
+	recs, off, err := ScanSegment(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(recs) != 2 || off != intact {
+		t.Fatalf("clean scan: %d records, off %d, %v (want 2, %d, nil)", len(recs), off, err, intact)
+	}
+
+	// Every torn tail beyond the intact prefix: prefix records survive,
+	// offset still marks the boundary, tail error is typed.
+	sw.Append([]byte("torn"))
+	full := buf.Bytes()
+	for cut := intact + 1; cut < int64(len(full)); cut++ {
+		recs, off, err := ScanSegment(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: tail error %v is not ErrCorrupt", cut, err)
+		}
+		if len(recs) != 2 || off != intact {
+			t.Fatalf("cut %d: %d records, off %d (want 2, %d)", cut, len(recs), off, intact)
+		}
+	}
+
+	// A bad header has no intact prefix.
+	recs, off, err = ScanSegment(bytes.NewReader([]byte("NOTMAGIC")))
+	if !errors.Is(err, ErrCorrupt) || len(recs) != 0 || off != 0 {
+		t.Fatalf("bad header: %d records, off %d, %v", len(recs), off, err)
+	}
+
+	// NewAppendWriter continues the intact prefix into a valid stream.
+	cont := bytes.NewBuffer(bytes.Clone(full[:intact]))
+	aw := NewAppendWriter(cont)
+	if err := aw.Append([]byte("third")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err2 := ReadSegment(bytes.NewReader(cont.Bytes()))
+	if err2 != nil || len(recs) != 3 || string(recs[2]) != "third" {
+		t.Fatalf("appended stream: %d records, %v", len(recs), err2)
+	}
+}
+
+// TestCoordinatorSaveFailureObservable pins the satellite contract: a
+// swallowed save failure must still be visible to operators as the
+// checkpoint_errors counter, the checkpoint_consecutive_errors gauge and a
+// checkpoint_error JSONL event — and the gauge must drop back to zero when
+// persistence recovers.
+func TestCoordinatorSaveFailureObservable(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	scope := obs.NewScope(obs.NewTracer(&trace))
+	c := NewCoordinator(store, 0, Meta{Protocol: "p", Stage: "lemma 1"}, scope)
+
+	// Shadow the store directory with a file so every save fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Tick()
+	c.Tick()
+	if got := scope.Counter("checkpoint_errors").Value(); got != 2 {
+		t.Fatalf("checkpoint_errors = %d, want 2", got)
+	}
+	if got := scope.Gauge("checkpoint_consecutive_errors").Value(); got != 2 {
+		t.Fatalf("checkpoint_consecutive_errors = %d, want 2", got)
+	}
+	events := 0
+	for _, line := range strings.Split(trace.String(), "\n") {
+		if strings.Contains(line, `"msg":"checkpoint_error"`) {
+			events++
+			for _, field := range []string{`"stage":"lemma 1"`, `"consecutive":`, `"err":`} {
+				if !strings.Contains(line, field) {
+					t.Fatalf("checkpoint_error event lacks %s: %s", field, line)
+				}
+			}
+		}
+	}
+	if events != 2 {
+		t.Fatalf("trace carries %d checkpoint_error events, want 2", events)
+	}
+
+	// Recovery: a successful save resets the consecutive gauge, not the
+	// monotonic counter.
+	if err := os.Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := scope.Gauge("checkpoint_consecutive_errors").Value(); got != 0 {
+		t.Fatalf("gauge after recovery = %d, want 0", got)
+	}
+	if got := scope.Counter("checkpoint_errors").Value(); got != 2 {
+		t.Fatalf("counter after recovery = %d, want 2 (monotonic)", got)
 	}
 }
 

@@ -30,6 +30,7 @@ type Coordinator struct {
 	last       time.Time
 	writes     int
 	bytes      int64
+	fails      int
 	lastErr    error
 
 	// AfterSave, when non-nil, observes every successfully persisted
@@ -124,12 +125,25 @@ func (c *Coordinator) save(query func() *QueryData) {
 	}
 	n, err := c.store.Save(snap)
 	if err != nil {
+		// Persistence degradation is silent by design (the proof keeps
+		// running), so it must be loud in the obs layer: a monotonic error
+		// counter to alert on, a consecutive-failure gauge that a healthy
+		// save resets (sustained non-zero = the disk is gone, not a blip),
+		// and a JSONL event per failure with the cause.
 		c.lastErr = err
+		c.fails++
 		c.scope.Counter("checkpoint_errors").Add(1)
-		c.scope.Event("checkpoint_error", slog.String("err", err.Error()))
+		c.scope.Gauge("checkpoint_consecutive_errors").Set(int64(c.fails))
+		c.scope.Event("checkpoint_error",
+			slog.Uint64("seq", snap.Meta.Seq),
+			slog.String("stage", snap.Meta.Stage),
+			slog.Int("consecutive", c.fails),
+			slog.String("err", err.Error()))
 		return
 	}
 	c.lastErr = nil
+	c.fails = 0
+	c.scope.Gauge("checkpoint_consecutive_errors").Set(0)
 	c.meta.Seq = snap.Meta.Seq
 	c.writes++
 	c.bytes += n

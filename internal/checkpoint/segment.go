@@ -42,6 +42,14 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return sw, nil
 }
 
+// NewAppendWriter continues an existing segment stream on w without
+// re-emitting the magic header. The caller is expected to have validated
+// the stream's header and intact prefix via ScanSegment and positioned w
+// at the end of that prefix — the append-only ledger's reopen path.
+func NewAppendWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
 func (sw *Writer) write(p []byte) error {
 	n, err := sw.w.Write(p)
 	sw.bytes += int64(n)
@@ -68,44 +76,91 @@ func (sw *Writer) Append(payload []byte) error {
 // Bytes returns the total bytes written so far, header included.
 func (sw *Writer) Bytes() int64 { return sw.bytes }
 
+// segReader buffers a segment stream while tracking the byte offset of
+// everything consumed so far, which is what lets ScanSegment report where
+// the intact prefix of a torn file ends.
+type segReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (s *segReader) Read(p []byte) (int, error) {
+	n, err := s.br.Read(p)
+	s.off += int64(n)
+	return n, err
+}
+
+func (s *segReader) ReadByte() (byte, error) {
+	b, err := s.br.ReadByte()
+	if err == nil {
+		s.off++
+	}
+	return b, err
+}
+
+// readRecords decodes a segment stream record by record. It returns the
+// records of the longest intact prefix plus the stream offset where that
+// prefix ends; err is nil only when the stream terminated cleanly at a
+// record boundary. A header failure returns offset 0.
+func readRecords(r io.Reader) (records [][]byte, validOff int64, err error) {
+	sr := &segReader{br: bufio.NewReaderSize(r, 1<<16)}
+	magic := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(sr, magic); err != nil {
+		return nil, 0, corruptf("segment header (%v)", err)
+	}
+	if string(magic) != segmentMagic {
+		return nil, 0, corruptf("segment magic %q", magic)
+	}
+	validOff = sr.off
+	for {
+		length, err := binary.ReadUvarint(sr)
+		if err == io.EOF {
+			return records, validOff, nil
+		}
+		if err != nil {
+			return records, validOff, corruptf("record %d length (%v)", len(records), err)
+		}
+		if length > maxRecordLen {
+			return records, validOff, corruptf("record %d length %d exceeds limit", len(records), length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(sr, payload); err != nil {
+			return records, validOff, corruptf("record %d payload (%v)", len(records), err)
+		}
+		var sum [sha256.Size]byte
+		if _, err := io.ReadFull(sr, sum[:]); err != nil {
+			return records, validOff, corruptf("record %d checksum (%v)", len(records), err)
+		}
+		if sha256.Sum256(payload) != sum {
+			return records, validOff, corruptf("record %d checksum mismatch", len(records))
+		}
+		records = append(records, payload)
+		validOff = sr.off
+	}
+}
+
 // ReadSegment reads a whole segment stream, validating the magic and every
 // record checksum. Any malformation — zero-length file, bad magic,
 // truncated length/payload/checksum, checksum mismatch — is reported as an
 // error wrapping ErrCorrupt; a partial prefix of records is never returned.
 func ReadSegment(r io.Reader) ([][]byte, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, len(segmentMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, corruptf("segment header (%v)", err)
+	records, _, err := readRecords(r)
+	if err != nil {
+		return nil, err
 	}
-	if string(magic) != segmentMagic {
-		return nil, corruptf("segment magic %q", magic)
-	}
-	var records [][]byte
-	for {
-		length, err := binary.ReadUvarint(br)
-		if err == io.EOF {
-			return records, nil
-		}
-		if err != nil {
-			return nil, corruptf("record %d length (%v)", len(records), err)
-		}
-		if length > maxRecordLen {
-			return nil, corruptf("record %d length %d exceeds limit", len(records), length)
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil, corruptf("record %d payload (%v)", len(records), err)
-		}
-		var sum [sha256.Size]byte
-		if _, err := io.ReadFull(br, sum[:]); err != nil {
-			return nil, corruptf("record %d checksum (%v)", len(records), err)
-		}
-		if sha256.Sum256(payload) != sum {
-			return nil, corruptf("record %d checksum mismatch", len(records))
-		}
-		records = append(records, payload)
-	}
+	return records, nil
+}
+
+// ScanSegment reads a segment stream like ReadSegment but tolerates a torn
+// tail (a crash mid-append): it returns every record of the longest intact
+// prefix plus the byte offset where that prefix ends, so an append-mode
+// caller can truncate the file there and keep going. tailErr is nil when
+// the stream ended cleanly at a record boundary and otherwise wraps
+// ErrCorrupt describing the first malformation; the returned records and
+// offset are valid either way. A missing or bad magic header yields no
+// records and offset 0 — such a file has no intact prefix to keep.
+func ScanSegment(r io.Reader) (records [][]byte, validOff int64, tailErr error) {
+	return readRecords(r)
 }
 
 // ReadSegmentFile reads and validates the segment file at path.

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the default error an OpInjector returns from a scripted
+// operation failure. Supervisors classify it as retryable: it models the
+// transient faults (flaky disk, brief unavailability) that a service must
+// absorb with retry + backoff rather than report as terminal.
+var ErrInjected = errors.New("faults: injected operation failure")
+
+// OpInjector injects deterministic failures into named operations of a
+// long-running service — job attempts, ledger flushes, checkpoint saves,
+// recovery sweeps. Where a Plan scripts faults against the processes of a
+// consensus protocol and a CrashWriter kills a file mid-write, an
+// OpInjector scripts faults against the service's own control paths: the
+// test says "the first two attempts of job j fail" and the supervisor
+// under test must retry past them.
+//
+// A nil *OpInjector is the disabled state (the production configuration):
+// Hit is nil-receiver safe and never fails, mirroring the obs.Scope
+// convention, so service code calls it unconditionally.
+type OpInjector struct {
+	mu        sync.Mutex
+	remaining map[string]int
+	errs      map[string]error
+	hits      map[string]int
+}
+
+// NewOpInjector returns an injector with no scripted failures.
+func NewOpInjector() *OpInjector {
+	return &OpInjector{
+		remaining: make(map[string]int),
+		errs:      make(map[string]error),
+		hits:      make(map[string]int),
+	}
+}
+
+// Fail scripts the next times invocations of op to fail with err (nil err
+// means ErrInjected). Scripting op again replaces its previous script.
+func (i *OpInjector) Fail(op string, times int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.remaining[op] = times
+	i.errs[op] = err
+}
+
+// Hit reports one invocation of op: the scripted error while the op's
+// failure budget lasts, nil after (and always nil on a nil injector).
+func (i *OpInjector) Hit(op string) error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.hits[op]++
+	if i.remaining[op] > 0 {
+		i.remaining[op]--
+		return fmt.Errorf("%s: %w", op, i.errs[op])
+	}
+	return nil
+}
+
+// Hits returns how many times op has been invoked (0 on nil).
+func (i *OpInjector) Hits(op string) int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.hits[op]
+}

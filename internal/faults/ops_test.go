@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestOpInjectorScriptedFailures(t *testing.T) {
+	inj := NewOpInjector()
+	inj.Fail("ledger.flush", 2, nil)
+	custom := errors.New("disk full")
+	inj.Fail("job:j-1", 1, custom)
+
+	for k := 0; k < 2; k++ {
+		if err := inj.Hit("ledger.flush"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("flush hit %d: %v, want ErrInjected", k, err)
+		}
+	}
+	if err := inj.Hit("ledger.flush"); err != nil {
+		t.Fatalf("flush after budget: %v, want nil", err)
+	}
+	if err := inj.Hit("job:j-1"); !errors.Is(err, custom) {
+		t.Fatalf("job hit: %v, want the scripted error", err)
+	}
+	if err := inj.Hit("job:j-1"); err != nil {
+		t.Fatalf("job after budget: %v", err)
+	}
+	if err := inj.Hit("never-scripted"); err != nil {
+		t.Fatalf("unscripted op failed: %v", err)
+	}
+	if got := inj.Hits("ledger.flush"); got != 3 {
+		t.Fatalf("flush hits = %d, want 3", got)
+	}
+}
+
+func TestOpInjectorNilIsNoOp(t *testing.T) {
+	var inj *OpInjector
+	if err := inj.Hit("anything"); err != nil {
+		t.Fatalf("nil injector failed: %v", err)
+	}
+	if got := inj.Hits("anything"); got != 0 {
+		t.Fatalf("nil injector hits = %d", got)
+	}
+}
+
+func TestOpInjectorConcurrent(t *testing.T) {
+	inj := NewOpInjector()
+	inj.Fail("op", 50, nil)
+	var wg sync.WaitGroup
+	fails := make(chan error, 200)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 25; k++ {
+				fails <- inj.Hit("op")
+			}
+		}()
+	}
+	wg.Wait()
+	close(fails)
+	failed := 0
+	for err := range fails {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed != 50 {
+		t.Fatalf("%d injected failures, want exactly 50", failed)
+	}
+	if got := inj.Hits("op"); got != 200 {
+		t.Fatalf("hits = %d, want 200", got)
+	}
+}

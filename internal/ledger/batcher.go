@@ -1,0 +1,197 @@
+package ledger
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// LatencyBoundsMicros are the fixed buckets of the batcher's queue/flush
+// latency histograms, in microseconds: sub-millisecond enqueue-to-commit
+// up to multi-second stalls on a struggling disk.
+var LatencyBoundsMicros = []int64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1000000, 2500000, 5000000}
+
+// Batcher amortises ledger appends: items queue in memory and flush as one
+// Merkle batch when BatchSize accumulate or MaxWait elapses since the
+// oldest queued item — the throughput/latency trade every write-behind
+// log makes. A failed flush keeps its items queued and retries on the next
+// trigger; the obs layer carries per-item queue latency, per-flush commit
+// latency, and a flush-error counter so a degrading disk is visible long
+// before Close reports it.
+type Batcher struct {
+	ledger   *Ledger
+	size     int
+	maxWait  time.Duration
+	scope    *obs.Scope
+	faults   *faults.OpInjector
+	onCommit func(*Batch)
+
+	mu      sync.Mutex
+	pending []queued
+	timer   *time.Timer
+	closed  bool
+	lastErr error
+	wg      sync.WaitGroup
+}
+
+// queued is one item plus its enqueue instant (for the queue-latency
+// histogram).
+type queued struct {
+	item Item
+	enq  time.Time
+}
+
+// BatcherOptions configures a Batcher.
+type BatcherOptions struct {
+	// BatchSize triggers a flush when this many items are queued
+	// (default 16).
+	BatchSize int
+	// MaxWait triggers a flush this long after the first queued item even
+	// if the batch is short (default 500ms) — a lone job's witness must
+	// not wait for company forever.
+	MaxWait time.Duration
+	// OnCommit, when non-nil, observes every successfully committed batch
+	// (the server uses it to stamp jobs with their ledger position).
+	OnCommit func(*Batch)
+	// Scope receives the batcher's metrics and events.
+	Scope *obs.Scope
+	// Faults, when non-nil, is consulted as operation "ledger.flush" before
+	// every flush — the injection point for testing retry behaviour.
+	Faults *faults.OpInjector
+}
+
+// NewBatcher starts a batcher over l.
+func NewBatcher(l *Ledger, opts BatcherOptions) *Batcher {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 16
+	}
+	if opts.MaxWait <= 0 {
+		opts.MaxWait = 500 * time.Millisecond
+	}
+	return &Batcher{
+		ledger:   l,
+		size:     opts.BatchSize,
+		maxWait:  opts.MaxWait,
+		scope:    opts.Scope,
+		faults:   opts.Faults,
+		onCommit: opts.OnCommit,
+	}
+}
+
+// Add enqueues one item. It never blocks on the disk: the commit happens
+// on the flush path. Items added after Close are rejected.
+func (b *Batcher) Add(item Item) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("ledger: batcher closed")
+	}
+	b.pending = append(b.pending, queued{item: item, enq: time.Now()})
+	b.scope.Gauge("ledger_queue_depth").Set(int64(len(b.pending)))
+	if len(b.pending) >= b.size {
+		b.flushLocked()
+		return nil
+	}
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.maxWait, b.flushTimer)
+	}
+	return nil
+}
+
+// flushTimer is the MaxWait trigger.
+func (b *Batcher) flushTimer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.timer = nil
+	if len(b.pending) > 0 && !b.closed {
+		b.flushLocked()
+	}
+}
+
+// Flush commits everything currently queued, returning the flush error if
+// the commit failed (items stay queued for retry).
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.pending) > 0 {
+		b.flushLocked()
+	}
+	return b.lastErr
+}
+
+// flushLocked commits the pending queue as one batch. Caller holds b.mu.
+func (b *Batcher) flushLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	items := make([]Item, len(b.pending))
+	for i, q := range b.pending {
+		items[i] = q.item
+	}
+	start := time.Now()
+	var batch *Batch
+	err := b.faults.Hit("ledger.flush")
+	if err == nil {
+		batch, err = b.ledger.Append(items)
+	}
+	if err != nil {
+		// Keep the items queued; the next Add/timer/Flush retries. Re-arm
+		// the timer so a quiet queue still retries.
+		b.lastErr = err
+		b.scope.Counter("ledger_flush_errors").Add(1)
+		b.scope.Event("ledger_flush_error",
+			slog.Int("items", len(items)),
+			slog.String("err", err.Error()))
+		if b.timer == nil && !b.closed {
+			b.timer = time.AfterFunc(b.maxWait, b.flushTimer)
+		}
+		return
+	}
+	now := time.Now()
+	qh := b.scope.Histogram("ledger_queue_latency_us", LatencyBoundsMicros)
+	for _, q := range b.pending {
+		qh.Observe(now.Sub(q.enq).Microseconds())
+	}
+	b.scope.Histogram("ledger_flush_latency_us", LatencyBoundsMicros).Observe(now.Sub(start).Microseconds())
+	b.scope.Counter("ledger_batches").Add(1)
+	b.scope.Counter("ledger_items").Add(int64(len(items)))
+	b.scope.Gauge("ledger_queue_depth").Set(0)
+	b.lastErr = nil
+	b.pending = b.pending[:0]
+	b.scope.Event("ledger_batch_committed",
+		slog.Uint64("seq", batch.Seq),
+		slog.Int("items", len(batch.Items)),
+		slog.String("root", batch.Root.String()))
+	if b.onCommit != nil {
+		// The callback runs off the batcher lock (it updates job records,
+		// which may in turn query the ledger).
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.onCommit(batch)
+		}()
+	}
+}
+
+// Close flushes the queue (retrying is the caller's concern at this point:
+// the final flush error is returned) and rejects further Adds.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if len(b.pending) > 0 {
+		b.flushLocked()
+	}
+	err := b.lastErr
+	b.closed = true
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	return err
+}

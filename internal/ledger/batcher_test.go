@@ -1,0 +1,140 @@
+package ledger
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+func openTestLedger(t *testing.T, scope *obs.Scope) *Ledger {
+	t.Helper()
+	l, err := Open(filepath.Join(t.TempDir(), "ledger.seg"), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// TestBatcherSizeTrigger: BatchSize items flush immediately, without
+// waiting for MaxWait.
+func TestBatcherSizeTrigger(t *testing.T) {
+	scope := obs.NewScope(nil)
+	l := openTestLedger(t, scope)
+	var mu sync.Mutex
+	var committed []*Batch
+	b := NewBatcher(l, BatcherOptions{
+		BatchSize: 2,
+		MaxWait:   time.Hour, // must not be the trigger
+		Scope:     scope,
+		OnCommit: func(batch *Batch) {
+			mu.Lock()
+			committed = append(committed, batch)
+			mu.Unlock()
+		},
+	})
+	b.Add(Item{JobID: "j-1", Witness: wh(1)})
+	if n, _ := l.Len(); n != 0 {
+		t.Fatal("short batch flushed early")
+	}
+	b.Add(Item{JobID: "j-2", Witness: wh(2)})
+	if n, _ := l.Len(); n != 1 {
+		t.Fatalf("full batch did not flush: %d batches", n)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(committed) != 1 || len(committed[0].Items) != 2 {
+		t.Fatalf("OnCommit saw %+v", committed)
+	}
+	if scope.Counter("ledger_batches").Value() != 1 || scope.Counter("ledger_items").Value() != 2 {
+		t.Fatal("batch/item counters wrong")
+	}
+	if scope.Histogram("ledger_queue_latency_us", LatencyBoundsMicros).Count() != 2 {
+		t.Fatal("queue latency histogram missing per-item observations")
+	}
+	if scope.Histogram("ledger_flush_latency_us", LatencyBoundsMicros).Count() != 1 {
+		t.Fatal("flush latency histogram missing the flush")
+	}
+}
+
+// TestBatcherMaxWaitTrigger: a lone item flushes after MaxWait.
+func TestBatcherMaxWaitTrigger(t *testing.T) {
+	l := openTestLedger(t, nil)
+	b := NewBatcher(l, BatcherOptions{BatchSize: 100, MaxWait: 20 * time.Millisecond})
+	b.Add(Item{JobID: "j-1", Witness: wh(1)})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n, _ := l.Len(); n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("max-wait flush never happened")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains("j-1") {
+		t.Fatal("item not committed")
+	}
+}
+
+// TestBatcherFlushRetry scripts two flush failures via the faults injector:
+// the items must stay queued through the failures and commit on the third
+// try, with the error counter carrying the two misses.
+func TestBatcherFlushRetry(t *testing.T) {
+	scope := obs.NewScope(nil)
+	l := openTestLedger(t, scope)
+	inj := faults.NewOpInjector()
+	inj.Fail("ledger.flush", 2, nil)
+	// MaxWait is deliberately huge: the retries in this test must come from
+	// the explicit Flush calls, not a racing timer.
+	b := NewBatcher(l, BatcherOptions{BatchSize: 1, MaxWait: time.Hour, Scope: scope, Faults: inj})
+	b.Add(Item{JobID: "j-1", Witness: wh(1)}) // trigger 1: injected failure
+	if err := b.Flush(); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("second flush: %v, want injected failure", err)
+	}
+	if n, _ := l.Len(); n != 0 {
+		t.Fatal("failed flush committed something")
+	}
+	if err := b.Flush(); err != nil { // third try: budget exhausted, commits
+		t.Fatalf("flush after injection budget: %v", err)
+	}
+	if !l.Contains("j-1") {
+		t.Fatal("item lost across failed flushes")
+	}
+	if got := scope.Counter("ledger_flush_errors").Value(); got != 2 {
+		t.Fatalf("ledger_flush_errors = %d, want 2", got)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Hits("ledger.flush"); got != 3 {
+		t.Fatalf("flush attempts = %d, want 3", got)
+	}
+}
+
+// TestBatcherCloseRejectsLateAdds: Close drains, later Adds fail.
+func TestBatcherCloseRejectsLateAdds(t *testing.T) {
+	l := openTestLedger(t, nil)
+	b := NewBatcher(l, BatcherOptions{BatchSize: 100, MaxWait: time.Hour})
+	b.Add(Item{JobID: "j-1", Witness: wh(1)})
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Contains("j-1") {
+		t.Fatal("Close did not drain the queue")
+	}
+	if err := b.Add(Item{JobID: "j-2", Witness: wh(2)}); err == nil {
+		t.Fatal("Add after Close accepted")
+	}
+}

@@ -1,0 +1,167 @@
+// Package ledger gives the proof service non-repudiable results: every
+// completed job's witness hash is batched into a Merkle root, and the roots
+// are chained into a checksummed append-only ledger file. A verifier can
+// replay the whole chain (VerifyLedger) or check one job's membership from
+// a logarithmic inclusion proof, and any bit flipped after the fact — in a
+// witness, a batch, or the chain — is detected, never absorbed.
+//
+// The file format builds on internal/checkpoint's segment framing (magic
+// header, length-prefixed sha256-checksummed records), with one batch per
+// record. The checksums make torn tails and storage rot detectable; the
+// Merkle chain on top makes deliberate tampering detectable even by a
+// verifier who only holds the latest root.
+package ledger
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Hash is a sha256 digest that renders as hex in JSON and text.
+type Hash [sha256.Size]byte
+
+// MarshalText implements encoding.TextMarshaler (lower-case hex).
+func (h Hash) MarshalText() ([]byte, error) {
+	out := make([]byte, hex.EncodedLen(len(h)))
+	hex.Encode(out, h[:])
+	return out, nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (h *Hash) UnmarshalText(text []byte) error {
+	if hex.DecodedLen(len(text)) != len(h) {
+		return fmt.Errorf("ledger: hash %q has wrong length", text)
+	}
+	_, err := hex.Decode(h[:], text)
+	return err
+}
+
+// String renders the hash as hex.
+func (h Hash) String() string {
+	return hex.EncodeToString(h[:])
+}
+
+// Domain-separation prefixes: a leaf hash can never be confused with an
+// interior node hash, so no second-preimage games across tree levels.
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// LeafHash binds a job id to its witness digest: the leaf is
+// sha256(0x00 || uvarint(len(jobID)) || jobID || witness). Including the id
+// means an inclusion proof attests "job j produced witness w", not merely
+// "witness w appeared in some batch".
+func LeafHash(jobID string, witness Hash) Hash {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64 + 1]byte
+	buf[0] = leafPrefix
+	n := binary.PutUvarint(buf[1:], uint64(len(jobID)))
+	h.Write(buf[:1+n])
+	h.Write([]byte(jobID))
+	h.Write(witness[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// MerkleRoot folds the leaves into a root. An odd node at any level is
+// promoted unchanged to the next level (no duplication, so two distinct
+// leaf sequences can never share a root). The root of zero leaves is the
+// zero hash; callers never append empty batches.
+func MerkleRoot(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return Hash{}
+	}
+	level := append([]Hash(nil), leaves...)
+	for len(level) > 1 {
+		next := level[:0:len(level)]
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, nodeHash(level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// ProofStep is one sibling on the path from a leaf to the root. Left
+// reports the sibling's side: the parent is node(sibling, current) when
+// true, node(current, sibling) when false.
+type ProofStep struct {
+	Hash Hash `json:"hash"`
+	Left bool `json:"left"`
+}
+
+// Proof is a self-contained inclusion proof: replaying Steps from the leaf
+// must reproduce Root, the Merkle root recorded in batch BatchSeq of the
+// ledger, whose chain position PrevRoot pins.
+type Proof struct {
+	JobID    string      `json:"job_id"`
+	Witness  Hash        `json:"witness_sha256"`
+	Leaf     Hash        `json:"leaf"`
+	BatchSeq uint64      `json:"batch_seq"`
+	Index    int         `json:"index"`
+	Steps    []ProofStep `json:"steps"`
+	Root     Hash        `json:"root"`
+	PrevRoot Hash        `json:"prev_root"`
+}
+
+// merkleProof builds the sibling path for leaf index i. Levels where the
+// node is promoted (odd tail) contribute no step.
+func merkleProof(leaves []Hash, i int) []ProofStep {
+	var steps []ProofStep
+	level := append([]Hash(nil), leaves...)
+	for len(level) > 1 {
+		if i%2 == 1 {
+			steps = append(steps, ProofStep{Hash: level[i-1], Left: true})
+		} else if i+1 < len(level) {
+			steps = append(steps, ProofStep{Hash: level[i+1], Left: false})
+		}
+		next := level[:0:len(level)]
+		for j := 0; j+1 < len(level); j += 2 {
+			next = append(next, nodeHash(level[j], level[j+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		i /= 2
+	}
+	return steps
+}
+
+// Verify checks the proof end to end: the leaf must re-derive from JobID
+// and Witness, and folding Steps from it must land exactly on Root.
+func (p *Proof) Verify() error {
+	if got := LeafHash(p.JobID, p.Witness); got != p.Leaf {
+		return fmt.Errorf("ledger: proof leaf %s does not bind job %s to its witness (want %s)", p.Leaf, p.JobID, got)
+	}
+	h := p.Leaf
+	for _, s := range p.Steps {
+		if s.Left {
+			h = nodeHash(s.Hash, h)
+		} else {
+			h = nodeHash(h, s.Hash)
+		}
+	}
+	if !bytes.Equal(h[:], p.Root[:]) {
+		return fmt.Errorf("ledger: proof for job %s folds to %s, root is %s", p.JobID, h, p.Root)
+	}
+	return nil
+}

@@ -19,11 +19,26 @@ import (
 //	                  memstats) merged with the scope's metric registry
 //	/progress       — the live Progress snapshot (phase, frontier depth,
 //	                  elapsed, ETA from level growth)
+//	/healthz        — liveness: 200 "ok" while the process serves at all
+//	/readyz         — readiness: 200 "ready", or 503 with the error from
+//	                  the scope's SetReadyCheck probe (no probe = ready)
 //
 // The handler is safe to mount while the engine runs; every read is a
 // lock-free or briefly-locked snapshot.
 func Handler(s *Scope) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := s.ReadyErr(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -142,7 +157,7 @@ func Start(cfg Config) (*Scope, func() error, error) {
 			_ = tr.Close()
 			return nil, nil, err
 		}
-		fmt.Fprintf(os.Stderr, "obs: debug endpoint on http://%s (/debug/pprof, /debug/vars, /progress)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "obs: debug endpoint on http://%s (/debug/pprof, /debug/vars, /progress, /healthz, /readyz)\n", srv.Addr())
 	}
 	shutdown := func() error {
 		err := srv.Close()

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"log/slog"
 	"net/http"
@@ -257,6 +258,62 @@ func TestHandlerProgressAndVars(t *testing.T) {
 
 	if got := get("/debug/pprof/cmdline"); len(got) == 0 {
 		t.Fatal("/debug/pprof/cmdline returned nothing")
+	}
+}
+
+// TestHandlerHealthReady pins the health surface every -debug-addr command
+// now exposes: /healthz is unconditionally alive, /readyz follows the
+// scope's registered probe and degrades to 503 with the probe's error.
+func TestHandlerHealthReady(t *testing.T) {
+	s := NewScope(nil)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	status := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := status("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// No probe registered: ready by default (one-shot commands).
+	if code, body := status("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz without probe = %d %q", code, body)
+	}
+	// A draining service flips unready; its error is the body.
+	s.SetReadyCheck(func() error { return errors.New("draining: not admitting jobs") })
+	if code, body := status("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz while draining = %d %q", code, body)
+	}
+	// And back.
+	s.SetReadyCheck(nil)
+	if code, _ := status("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after recovery = %d", code)
+	}
+	// /healthz stays alive throughout — liveness is not readiness.
+	if code, _ := status("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz while unready = %d", code)
+	}
+
+	// The nil scope serves both endpoints too.
+	nilSrv := httptest.NewServer(Handler(nil))
+	defer nilSrv.Close()
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(nilSrv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("nil scope %s = %d", path, resp.StatusCode)
+		}
 	}
 }
 

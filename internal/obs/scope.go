@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"log/slog"
+	"sync/atomic"
 )
 
 // Scope bundles the three observability backends — metrics registry,
@@ -15,6 +16,8 @@ type Scope struct {
 	reg  *Registry
 	tr   *Tracer
 	prog *Progress
+	// ready holds the registered /readyz probe (nil until SetReadyCheck).
+	ready atomic.Pointer[func() error]
 }
 
 // NewScope returns an enabled scope with a fresh registry and progress
@@ -49,6 +52,31 @@ func (s *Scope) Tracer() *Tracer {
 		return nil
 	}
 	return s.tr
+}
+
+// SetReadyCheck registers fn as the endpoint's /readyz probe: a nil error
+// means ready (200), a non-nil one is the 503 body. Long-running services
+// use it to flip themselves unready while draining; one-shot commands never
+// call it and stay ready for their whole run. Safe on nil.
+func (s *Scope) SetReadyCheck(fn func() error) {
+	if s == nil {
+		return
+	}
+	s.ready.Store(&fn)
+}
+
+// ReadyErr evaluates the registered readiness probe. No probe (or a nil
+// scope) is ready: liveness alone is the default health of a process that
+// never declared a readiness lifecycle. Safe on nil.
+func (s *Scope) ReadyErr() error {
+	if s == nil {
+		return nil
+	}
+	fn := s.ready.Load()
+	if fn == nil || *fn == nil {
+		return nil
+	}
+	return (*fn)()
 }
 
 // Counter resolves a named counter; instrumentation sites resolve once and

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+// Handler is the job API:
+//
+//	POST /jobs              submit a JobSpec            202, 400, 429, 503
+//	GET  /jobs              list all jobs               200
+//	GET  /jobs/{id}         one job's status            200, 404
+//	GET  /jobs/{id}/witness the witness artifact        200, 404, 409
+//	GET  /jobs/{id}/trace   the job's JSONL trace       200, 404
+//	GET  /jobs/{id}/proof   ledger inclusion proof      200, 404
+//	GET  /ledger/head       chain head {seq, root}      200
+//	GET  /healthz           process liveness            200
+//	GET  /readyz            admission readiness         200, 503
+//
+// A 429 carries Retry-After; 503 on submit means the server is draining.
+// The same /healthz and /readyz contract is also served on the obs debug
+// endpoint when one is configured.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/witness", s.handleWitness)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/proof", s.handleProof)
+	mux.HandleFunc("GET /ledger/head", s.handleLedgerHead)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad spec: %v", err)})
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
+	path, err := s.WitnessPath(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		// Known job, no witness yet: conflict with the current state.
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	path, err := s.TracePath(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no trace recorded yet"})
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/jsonl")
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	p, err := s.Proof(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleLedgerHead(w http.ResponseWriter, r *http.Request) {
+	seq, root := s.LedgerHead()
+	writeJSON(w, http.StatusOK, map[string]any{"seq": seq, "root": root.String()})
+}

@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"strings"
+
+	"repro/internal/adversary"
+)
+
+// RenderWitness is the canonical witness artifact body: everything the
+// proof claims, nothing the run's performance influenced. A resumed run
+// must reproduce this byte for byte — the kill/restart tests and the
+// witness ledger both hash it — so oracle statistics and timings are
+// deliberately excluded. cmd/spacebound and the job server share this one
+// renderer; a drift between them would make their artifacts incomparable.
+func RenderWitness(w *adversary.Theorem1Witness) string {
+	var b strings.Builder
+	b.WriteString(w.String())
+	b.WriteString("\n\n")
+	b.WriteString(CoverTable(w))
+	b.WriteString("\n")
+	b.WriteString(Theorem1DOT(w))
+	return b.String()
+}
