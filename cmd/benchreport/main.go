@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	benchreport [-out BENCH_explore.json] [-check] [-debug-addr host:port] [-trace-out trace.jsonl]
+//	benchreport [-out BENCH_explore.json] [-check] [-baseline old.json]
+//	            [-debug-addr host:port] [-trace-out trace.jsonl]
 //	            [-checkpoint-dir dir] [-checkpoint-every 5s] [-resume] [-spill-budget bytes]
 //
 // Every run records the final observability snapshot (memo hit rates, peak
@@ -23,12 +24,23 @@
 // lets -resume fast-forward the row); without it they go to a temp
 // directory that is deleted on exit.
 //
-// With -check the command exits non-zero if the parallel engine's
-// configs/sec on the DiskRace n=3 reference workload falls below half of
-// the sequential engine's — a floor, not a target: on multi-core runners
-// the expected ratio is well above 1, and on a single-core machine the
-// parallel configuration degrades to the sequential inline path and the
-// ratio sits near 1.
+// Each reach row is best-of-3 (configs/sec is a capability metric; runner
+// noise only ever subtracts from it) and the DiskRace rows carry
+// pack_ns_per_config / hash_ns_per_config columns decomposing the hot path
+// into its packed-codec and fingerprint halves.
+//
+// With -check the command exits non-zero on perf-floor violations: the
+// parallel engine's configs/sec on the DiskRace n=3 reference workload
+// below half of the sequential engine's (a floor, not a target: on
+// multi-core runners the expected ratio is well above 1, and on a
+// single-core machine the parallel configuration degrades to the
+// sequential inline path and the ratio sits near 1), or a sequential
+// DiskRace row allocating more than 4 allocs per visited configuration.
+//
+// With -baseline the report is compared against a previous one and the
+// command exits non-zero if any reach row present in both regressed more
+// than 20% in configs/sec — the CI bench-compare job runs the merge-base's
+// benchreport and gates the PR's report against it.
 package main
 
 import (
@@ -61,6 +73,12 @@ type Run struct {
 	ConfigsPerSec float64 `json:"configs_per_sec"`
 	AllocsPerCfg  float64 `json:"allocs_per_config"`
 	BytesPerCfg   float64 `json:"bytes_per_config"`
+	// PackNsPerCfg and HashNsPerCfg decompose the hot path: nanoseconds to
+	// pack one configuration of this workload into its codec record, and
+	// to stream+hash its canonical key, measured steady-state over a
+	// sample of the reachable space.
+	PackNsPerCfg float64 `json:"pack_ns_per_config,omitempty"`
+	HashNsPerCfg float64 `json:"hash_ns_per_config,omitempty"`
 }
 
 // TheoremRun is one end-to-end Theorem 1 row (experiment E15).
@@ -119,7 +137,28 @@ func diskOpts() explore.Options {
 	}
 }
 
+// measureReach runs the workload reachAttempts times and reports the
+// fastest attempt. Configs/sec is a capability metric — scheduler noise and
+// neighbouring tenants only ever subtract from it — so best-of-N is the
+// stable estimator, and it is what keeps the -baseline regression gate from
+// tripping on a noisy runner.
+const reachAttempts = 3
+
 func measureReach(name string, c model.Config, pids []int, opts explore.Options) (Run, error) {
+	var best Run
+	for attempt := 0; attempt < reachAttempts; attempt++ {
+		r, err := measureReachOnce(name, c, pids, opts)
+		if err != nil {
+			return Run{}, err
+		}
+		if attempt == 0 || r.ConfigsPerSec > best.ConfigsPerSec {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+func measureReachOnce(name string, c model.Config, pids []int, opts explore.Options) (Run, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -147,6 +186,50 @@ func measureReach(name string, c model.Config, pids []int, opts explore.Options)
 		r.BytesPerCfg = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Count)
 	}
 	return r, nil
+}
+
+// measurePackHash samples the workload's reachable space and times the two
+// packed-path primitives steady-state: PackTo into a warm codec and a
+// streamed canonical-key hash. Per-configuration nanoseconds for both feed
+// the pack_ns_per_config / hash_ns_per_config columns.
+func measurePackHash(c model.Config, pids []int, opts explore.Options, sample int) (packNs, hashNs float64, err error) {
+	opts.Workers = 1
+	opts.MaxConfigs = sample
+	var cfgs []model.Config
+	_, rerr := explore.Reach(context.Background(), c, pids, opts, func(v explore.Visit) bool {
+		cfgs = append(cfgs, v.Config.Clone())
+		return true
+	})
+	if rerr != nil && len(cfgs) < sample-1 {
+		return 0, 0, rerr
+	}
+	if len(cfgs) == 0 {
+		return 0, 0, fmt.Errorf("pack/hash sample is empty")
+	}
+
+	codec := model.NewPackedCodec(c)
+	dst := make([]uint64, codec.Words())
+	for _, cfg := range cfgs { // warm the dictionaries
+		if err := codec.PackTo(dst, cfg); err != nil {
+			return 0, 0, err
+		}
+	}
+	timeIt := func(op func(model.Config)) float64 {
+		const minWindow = 50 * time.Millisecond
+		ops := 0
+		start := time.Now()
+		for time.Since(start) < minWindow {
+			for _, cfg := range cfgs {
+				op(cfg)
+			}
+			ops += len(cfgs)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(ops)
+	}
+	packNs = timeIt(func(cfg model.Config) { _ = codec.PackTo(dst, cfg) })
+	fper := opts.NewFingerprinter()
+	hashNs = timeIt(func(cfg model.Config) { _ = fper.Fingerprint(cfg) })
+	return packNs, hashNs, nil
 }
 
 func measureTheorem1(protocol model.Machine, opts explore.Options, n int, budget time.Duration, scope *obs.Scope) TheoremRun {
@@ -201,14 +284,14 @@ func checkpointedN4(plain TheoremRun, scope *obs.Scope, dir string, every time.D
 		opts.SpillDir = dir
 		opts.SpillBudget = spillBudget
 	}
-	meta := checkpoint.Meta{Protocol: consensus.DiskRace{}.Name(), N: 4, MaxConfigs: opts.MaxConfigs}
+	meta := checkpoint.Meta{Protocol: consensus.DiskRace{}.Name(), N: 4, MaxConfigs: opts.MaxConfigs, FPVersion: explore.FingerprintVersion}
 	engine := adversary.New(valency.New(opts))
 	if resume {
 		snap, err := store.Latest()
 		if err != nil {
 			return TheoremRun{}, nil, fmt.Errorf("resume: %w", err)
 		}
-		if snap.Meta.Protocol != meta.Protocol || snap.Meta.N != meta.N || snap.Meta.MaxConfigs != meta.MaxConfigs {
+		if snap.Meta.Protocol != meta.Protocol || snap.Meta.N != meta.N || snap.Meta.MaxConfigs != meta.MaxConfigs || snap.Meta.FPVersion != meta.FPVersion {
 			return TheoremRun{}, nil, fmt.Errorf("resume: snapshot is for %s n=%d, this row is %s n=%d",
 				snap.Meta.Protocol, snap.Meta.N, meta.Protocol, meta.N)
 		}
@@ -243,7 +326,8 @@ func checkpointedN4(plain TheoremRun, scope *obs.Scope, dir string, every time.D
 
 func run() (int, error) {
 	out := flag.String("out", "BENCH_explore.json", "output path for the JSON report")
-	check := flag.Bool("check", false, "exit non-zero if parallel Reach is >2x slower than sequential on DiskRace n=3")
+	check := flag.Bool("check", false, "exit non-zero on perf-floor violations (speedup, allocs/config, n=4 completion)")
+	baseline := flag.String("baseline", "", "previous BENCH_explore.json to compare against; exit non-zero if any shared reach row regresses >20% in configs/sec")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
 	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for the checkpointed n=4 row's snapshots (empty = temp dir, deleted on exit)")
@@ -281,13 +365,17 @@ func run() (int, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
-	// Reference workload: DiskRace n=3, all processes, capped so the run
-	// is a fixed amount of work (the full |P|=3 quotient is millions of
-	// configurations; the cap keeps the suite in seconds).
+	// Reference workloads: DiskRace n=3 and n=4, all processes, capped so
+	// each run is a fixed amount of work (the full quotients are millions
+	// of configurations; the cap keeps the suite in seconds).
 	diskCfg := model.NewConfig(consensus.DiskRace{}, []model.Value{"0", "1", "1"})
-	diskPids := []int{0, 1, 2}
+	diskCfg4 := model.NewConfig(consensus.DiskRace{}, []model.Value{"0", "1", "1", "1"})
 	const diskCap = 200_000
 
+	packNs3, hashNs3, err := measurePackHash(diskCfg, []int{0, 1, 2}, diskOpts(), 20_000)
+	if err != nil {
+		return 1, err
+	}
 	var seqRate, parRate float64
 	for _, workers := range []int{1, 0} {
 		opts := diskOpts()
@@ -297,10 +385,11 @@ func run() (int, error) {
 		if workers == 0 {
 			name = "diskrace_n3_par"
 		}
-		r, err := measureReach(name, diskCfg, diskPids, opts)
+		r, err := measureReach(name, diskCfg, []int{0, 1, 2}, opts)
 		if err != nil {
 			return 1, err
 		}
+		r.PackNsPerCfg, r.HashNsPerCfg = packNs3, hashNs3
 		rep.Runs = append(rep.Runs, r)
 		if workers == 1 {
 			seqRate = r.ConfigsPerSec
@@ -310,6 +399,22 @@ func run() (int, error) {
 	}
 	if seqRate > 0 {
 		rep.SpeedupDiskRaceN3 = parRate / seqRate
+	}
+
+	{
+		opts := diskOpts()
+		opts.MaxConfigs = diskCap
+		opts.Workers = 1
+		r, err := measureReach("diskrace_n4_seq", diskCfg4, []int{0, 1, 2, 3}, opts)
+		if err != nil {
+			return 1, err
+		}
+		packNs, hashNs, err := measurePackHash(diskCfg4, []int{0, 1, 2, 3}, diskOpts(), 20_000)
+		if err != nil {
+			return 1, err
+		}
+		r.PackNsPerCfg, r.HashNsPerCfg = packNs, hashNs
+		rep.Runs = append(rep.Runs, r)
 	}
 
 	// Exhaustive small workload: Flood n=3 (finite space, no cap).
@@ -380,8 +485,62 @@ func run() (int, error) {
 		if rep.SpeedupDiskRaceN3 < 0.5 {
 			return 2, fmt.Errorf("parallel engine is %.2fx sequential (< 0.5x floor) on diskrace n=3", rep.SpeedupDiskRaceN3)
 		}
+		for _, r := range rep.Runs {
+			if r.Name == "diskrace_n3_seq" || r.Name == "diskrace_n4_seq" {
+				if r.AllocsPerCfg > maxAllocsPerCfg {
+					return 2, fmt.Errorf("%s allocates %.2f allocs/config (> %.0f ceiling)", r.Name, r.AllocsPerCfg, maxAllocsPerCfg)
+				}
+			}
+		}
+	}
+	if *baseline != "" {
+		if err := compareBaseline(rep, *baseline); err != nil {
+			return 2, err
+		}
 	}
 	return 0, nil
+}
+
+// maxAllocsPerCfg is the -check ceiling on steady-state allocations per
+// visited configuration for the sequential DiskRace rows. The packed arena
+// core runs well under 1; 4 leaves room for GC-cycle jitter without letting
+// a per-configuration allocation sneak back into the hot loop.
+const maxAllocsPerCfg = 4.0
+
+// compareBaseline fails if any reach row shared with the baseline report
+// lost more than 20% configs/sec. Rows present only on one side are ignored
+// so the gate survives adding or renaming workloads.
+func compareBaseline(rep Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseRate := make(map[string]float64, len(base.Runs))
+	for _, r := range base.Runs {
+		baseRate[r.Name] = r.ConfigsPerSec
+	}
+	const floor = 0.8
+	var regressions []string
+	for _, r := range rep.Runs {
+		want, ok := baseRate[r.Name]
+		if !ok || want <= 0 {
+			continue
+		}
+		ratio := r.ConfigsPerSec / want
+		fmt.Printf("baseline %s: %.0f -> %.0f configs/s (%.2fx)\n", r.Name, want, r.ConfigsPerSec, ratio)
+		if ratio < floor {
+			regressions = append(regressions, fmt.Sprintf("%s %.0f -> %.0f configs/s (%.2fx < %.2fx floor)",
+				r.Name, want, r.ConfigsPerSec, ratio, floor))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("configs/sec regressed vs %s: %s", path, regressions[0])
+	}
+	return nil
 }
 
 func main() {

@@ -65,7 +65,7 @@ func engineFor(opts explore.Options, scope *obs.Scope, protocol string, n int, c
 	if err != nil {
 		return nil, nil, err
 	}
-	meta := checkpoint.Meta{Protocol: protocol, N: n, MaxConfigs: opts.MaxConfigs}
+	meta := checkpoint.Meta{Protocol: protocol, N: n, MaxConfigs: opts.MaxConfigs, FPVersion: explore.FingerprintVersion}
 	if cfg.resume {
 		snap, err := store.Latest()
 		switch {
@@ -73,7 +73,8 @@ func engineFor(opts explore.Options, scope *obs.Scope, protocol string, n int, c
 			// fall through to a fresh engine
 		case err != nil:
 			return nil, nil, fmt.Errorf("resume %s n=%d: %w", protocol, n, err)
-		case snap.Meta.Protocol != protocol || snap.Meta.N != n || snap.Meta.MaxConfigs != opts.MaxConfigs:
+		case snap.Meta.Protocol != protocol || snap.Meta.N != n || snap.Meta.MaxConfigs != opts.MaxConfigs ||
+			snap.Meta.FPVersion != explore.FingerprintVersion:
 			fmt.Fprintf(os.Stderr, "experiments: %s n=%d: snapshot is for %s n=%d, ignoring\n",
 				protocol, n, snap.Meta.Protocol, snap.Meta.N)
 		default:

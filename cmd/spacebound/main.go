@@ -224,7 +224,7 @@ func buildEngine(opts explore.Options, scope *obs.Scope, protocol string, n int,
 	if err != nil {
 		return nil, nil, err
 	}
-	meta := checkpoint.Meta{Protocol: protocol, N: n, MaxConfigs: opts.MaxConfigs}
+	meta := checkpoint.Meta{Protocol: protocol, N: n, MaxConfigs: opts.MaxConfigs, FPVersion: explore.FingerprintVersion}
 	if !resume {
 		engine := adversary.New(valency.New(opts))
 		coord := checkpoint.NewCoordinator(store, every, meta, scope)
@@ -238,6 +238,10 @@ func buildEngine(opts explore.Options, scope *obs.Scope, protocol string, n int,
 	if snap.Meta.Protocol != protocol || snap.Meta.N != n || snap.Meta.MaxConfigs != opts.MaxConfigs {
 		return nil, nil, fmt.Errorf("resume: snapshot is for %s n=%d max-configs=%d, flags say %s n=%d max-configs=%d",
 			snap.Meta.Protocol, snap.Meta.N, snap.Meta.MaxConfigs, protocol, n, opts.MaxConfigs)
+	}
+	if snap.Meta.FPVersion != explore.FingerprintVersion {
+		return nil, nil, fmt.Errorf("resume: snapshot fingerprints are hash v%d, this build uses v%d",
+			snap.Meta.FPVersion, explore.FingerprintVersion)
 	}
 	engine, err := adversary.ResumeEngine(opts, snap)
 	if err != nil {

@@ -164,19 +164,26 @@ func (e *Engine) lemma1(ctx context.Context, c model.Config, p []int) (model.Pat
 	// Fast path: the lemma only asks for SOME z ∈ p with p-{z} bivalent
 	// from cφ, and bivalence has a short positive certificate (two
 	// deciding executions) while refuting it needs the whole p-{z} space
-	// exhausted. So before committing to any exhaustive query, probe each
-	// candidate under a budget: a hit yields z with φ empty, exactly the
+	// exhausted. So before committing to any exhaustive query, probe the
+	// candidates under a budget: a hit yields z with φ empty, exactly the
 	// lemma's conclusion. For DiskRace at n=4 this is the difference
 	// between two solo runs and a >10^8-configuration exhaustion — the
-	// probes are what let Theorem 1 finish at n=4 at all. A miss costs at
-	// most probeBudget configurations per candidate before the exact
-	// critical-step construction below takes over.
-	for _, z := range p {
-		biv, err := e.oracle.ProbeBivalent(ctx, c, model.Without(p, z), e.probeBudget)
-		if err != nil {
-			return nil, 0, fmt.Errorf("lemma 1 probe: %w", err)
-		}
+	// probes are what let Theorem 1 finish at n=4 at all. The candidates'
+	// spaces overlap almost entirely, so they are submitted as one batch
+	// sharing a single search (and a single budget) instead of exploring
+	// the shared space once per candidate; the smallest peeled process
+	// wins, matching the sequential probe order.
+	cands := make([][]int, len(p))
+	for i, z := range p {
+		cands[i] = model.Without(p, z)
+	}
+	bivs, err := e.oracle.ProbeBivalentBatch(ctx, c, cands, e.probeBudget)
+	if err != nil {
+		return nil, 0, fmt.Errorf("lemma 1 probe: %w", err)
+	}
+	for i, biv := range bivs {
 		if biv {
+			z := p[i]
 			e.prog.note("lemma 1 (|P|=%d): probe peeled p%d with empty φ", len(p), z)
 			return model.Path{}, z, nil
 		}

@@ -159,6 +159,10 @@ func TestDecodeSnapshotRejects(t *testing.T) {
 		"no meta":             {{secMemo, 0, 0}},
 		"trailing bytes":      {append(bytes.Clone(meta), 0xFF)},
 		"frontier id too big": {meta, func() []byte { q := encodeQuery(&QueryData{Frontier: []int{5}}); return q }()},
+		// A meta truncated before FPVersion is the pre-hash-v2 format;
+		// resuming it under the new fingerprint function must be refused
+		// at decode time.
+		"meta without fp version": {meta[:len(meta)-1]},
 	}
 	for name, records := range cases {
 		if _, err := DecodeSnapshot(records); !errors.Is(err, ErrCorrupt) {

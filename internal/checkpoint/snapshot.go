@@ -49,6 +49,12 @@ type Meta struct {
 	Seq uint64
 	// WrittenUnixNano is the save wall-clock time.
 	WrittenUnixNano int64
+	// FPVersion is explore.FingerprintVersion at save time. Fingerprints
+	// from a different hash function mean nothing to this run, so resume
+	// refuses a mismatch. (Snapshots predating this field fail to decode
+	// at all — the appended field makes them ErrCorrupt — which is the
+	// intended migration: hash v1 files cannot be resumed under v2.)
+	FPVersion int
 }
 
 // VerdictRec is one memoised valency verdict: the decidable value set of
@@ -194,6 +200,7 @@ func encodeMeta(m *Meta) []byte {
 	e.str(m.Stage)
 	e.uint(m.Seq)
 	e.uint(uint64(m.WrittenUnixNano))
+	e.int(m.FPVersion)
 	return e.buf
 }
 
@@ -207,6 +214,7 @@ func decodeMeta(body []byte) (*Meta, error) {
 		Seq:        d.uint("meta seq"),
 	}
 	m.WrittenUnixNano = int64(d.uint("meta written"))
+	m.FPVersion = d.intn("meta fp version", maxCount)
 	if err := d.done(); err != nil {
 		return nil, err
 	}

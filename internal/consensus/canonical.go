@@ -1,8 +1,6 @@
 package consensus
 
 import (
-	"slices"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -82,6 +80,25 @@ type canonScratch struct {
 	to     []int
 	states []diskState
 	blocks []diskBlock
+	// decoded memoises decodeBlock by register content. Register values are
+	// drawn from a small vocabulary that recurs across millions of
+	// canonicalisations, so a pool-local cache turns the hot-path parse
+	// into a map hit; clearing on overflow bounds a pathological run.
+	decoded map[model.Value]diskBlock
+}
+
+func (sc *canonScratch) decode(v model.Value) diskBlock {
+	block, ok := sc.decoded[v]
+	if !ok {
+		block = decodeBlock(v)
+		if sc.decoded == nil {
+			sc.decoded = make(map[model.Value]diskBlock, 256)
+		} else if len(sc.decoded) >= 1<<16 {
+			clear(sc.decoded)
+		}
+		sc.decoded[v] = block
+	}
+	return block
 }
 
 var canonPool = sync.Pool{New: func() any { return new(canonScratch) }}
@@ -112,7 +129,7 @@ func (DiskRace) CanonicalKeyTo(w model.KeyWriter, c model.Config) {
 		sc.rounds = append(sc.rounds, s.ballot.K, s.ownBal.K, s.maxK, s.maxBal.K)
 	}
 	for r := 0; r < c.NumRegisters(); r++ {
-		block := decodeBlock(c.Register(r))
+		block := sc.decode(c.Register(r))
 		sc.blocks = append(sc.blocks, block)
 		sc.rounds = append(sc.rounds, block.Mbal.K, block.Bal.K)
 	}
@@ -157,7 +174,13 @@ func (m roundRemap) apply(k int) int {
 	if k == 0 {
 		return 0
 	}
-	i := sort.SearchInts(m.from, k)
+	// from holds at most a handful of distinct rounds per configuration, so
+	// a linear scan beats binary search (and keeps the out-of-range panic
+	// for a round that was never collected).
+	i := 0
+	for m.from[i] < k {
+		i++
+	}
 	return m.to[i]
 }
 
@@ -171,7 +194,13 @@ func buildRoundRemap(rounds []int) roundRemap {
 // into to's backing array (the hot path reuses it across calls). rounds is
 // sorted and deduplicated in place.
 func buildRoundRemapInto(rounds, to []int) roundRemap {
-	slices.Sort(rounds)
+	// rounds is 6n small ints; insertion sort in place skips the generic
+	// sort's dispatch overhead on the canonicalisation hot path.
+	for i := 1; i < len(rounds); i++ {
+		for j := i; j > 0 && rounds[j] < rounds[j-1]; j-- {
+			rounds[j], rounds[j-1] = rounds[j-1], rounds[j]
+		}
+	}
 	from := rounds[:0]
 	prev := -1
 	for _, k := range rounds {
@@ -240,25 +269,28 @@ func (s diskState) writeCanonicalKey(b *strings.Builder, remap roundRemap) {
 	b.WriteString(string(s.balInp))
 }
 
+// writeCanonBallot streams one remapped ballot (a top-level function, not
+// a closure, so the per-state hot loop stays closure-free).
+func writeCanonBallot(w model.KeyWriter, remap roundRemap, bal Ballot) {
+	w.WriteInt(remap.apply(bal.K))
+	_ = w.WriteByte('.')
+	w.WriteInt(bal.Pid)
+}
+
 // writeCanonicalKeyTo streams exactly the bytes writeCanonicalKey builds.
-func (s diskState) writeCanonicalKeyTo(w model.KeyWriter, remap roundRemap) {
-	writeBallot := func(bal Ballot) {
-		w.WriteInt(remap.apply(bal.K))
-		_ = w.WriteByte('.')
-		w.WriteInt(bal.Pid)
-	}
+func (s *diskState) writeCanonicalKeyTo(w model.KeyWriter, remap roundRemap) {
 	_ = w.WriteByte('D')
 	w.WriteInt(s.pid)
 	_ = w.WriteByte('|')
 	_, _ = w.WriteString(string(s.input))
 	_ = w.WriteByte('|')
-	writeBallot(s.ballot)
+	writeCanonBallot(w, remap, s.ballot)
 	_ = w.WriteByte('|')
 	w.WriteInt(int(s.phase))
 	_ = w.WriteByte('|')
 	w.WriteInt(s.idx)
 	_ = w.WriteByte('|')
-	writeBallot(s.ownBal)
+	writeCanonBallot(w, remap, s.ownBal)
 	_ = w.WriteByte('|')
 	_, _ = w.WriteString(string(s.ownInp))
 	_ = w.WriteByte('|')
@@ -269,7 +301,7 @@ func (s diskState) writeCanonicalKeyTo(w model.KeyWriter, remap roundRemap) {
 		_ = w.WriteByte('!')
 	}
 	_ = w.WriteByte('|')
-	writeBallot(s.maxBal)
+	writeCanonBallot(w, remap, s.maxBal)
 	_ = w.WriteByte('|')
 	_, _ = w.WriteString(string(s.balInp))
 }

@@ -81,6 +81,25 @@ func (s coinFloodState) Pending() model.Op {
 	}
 }
 
+var _ model.OpPeeker = coinFloodState{}
+
+// PeekOp implements model.OpPeeker.
+func (s coinFloodState) PeekOp() (model.OpKind, int) {
+	if s.flipping {
+		return model.OpCoin, 0
+	}
+	switch s.phase {
+	case floodScan:
+		return model.OpRead, s.idx
+	case floodWrite:
+		return model.OpWrite, s.idx
+	case floodDone:
+		return model.OpDecide, 0
+	default:
+		panic(fmt.Sprintf("coinflood: invalid phase %d", s.phase))
+	}
+}
+
 // Next implements model.State.
 func (s coinFloodState) Next(in model.Value) model.State {
 	if s.flipping {

@@ -99,7 +99,21 @@ type diskBlock struct {
 }
 
 func (b diskBlock) encode() model.Value {
-	return model.Value(b.Mbal.String() + ";" + b.Bal.String() + ";" + string(b.Inp))
+	// Built through a stack array so the only allocation is the final
+	// string copy: encode runs on every write step of every explored
+	// execution, where the three-way concat's intermediate ballot strings
+	// were measurable.
+	var arr [40]byte
+	buf := strconv.AppendInt(arr[:0], int64(b.Mbal.K), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendInt(buf, int64(b.Mbal.Pid), 10)
+	buf = append(buf, ';')
+	buf = strconv.AppendInt(buf, int64(b.Bal.K), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendInt(buf, int64(b.Bal.Pid), 10)
+	buf = append(buf, ';')
+	buf = append(buf, b.Inp...)
+	return model.Value(buf)
 }
 
 func decodeBlock(v model.Value) diskBlock {
@@ -173,6 +187,24 @@ func (s diskState) Pending() model.Op {
 		return model.Op{Kind: model.OpRead, Reg: s.idx}
 	case diskDone:
 		return model.Op{Kind: model.OpDecide, Arg: s.proposal}
+	default:
+		panic(fmt.Sprintf("diskrace: invalid phase %d", s.phase))
+	}
+}
+
+var _ model.OpPeeker = diskState{}
+
+// PeekOp implements model.OpPeeker: the pending kind and register without
+// Pending's block encoding, which move enumeration and cover checks would
+// otherwise pay on every write-poised inspection.
+func (s diskState) PeekOp() (model.OpKind, int) {
+	switch s.phase {
+	case diskP1Write, diskP2Write:
+		return model.OpWrite, s.pid
+	case diskP1Scan, diskP2Scan:
+		return model.OpRead, s.idx
+	case diskDone:
+		return model.OpDecide, 0
 	default:
 		panic(fmt.Sprintf("diskrace: invalid phase %d", s.phase))
 	}

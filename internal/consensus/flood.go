@@ -129,6 +129,22 @@ func (s floodState) Pending() model.Op {
 	}
 }
 
+var _ model.OpPeeker = floodState{}
+
+// PeekOp implements model.OpPeeker.
+func (s floodState) PeekOp() (model.OpKind, int) {
+	switch s.phase {
+	case floodScan:
+		return model.OpRead, s.idx
+	case floodWrite:
+		return model.OpWrite, s.idx
+	case floodDone:
+		return model.OpDecide, 0
+	default:
+		panic(fmt.Sprintf("flood: invalid phase %d", s.phase))
+	}
+}
+
 // Next implements model.State.
 func (s floodState) Next(in model.Value) model.State {
 	switch s.phase {
@@ -199,6 +215,30 @@ func (s floodState) Key() string {
 	}
 	return fmt.Sprintf("%s%d|%s|%d|%d|%c|%s",
 		s.rules.name, s.n, string(s.pref), s.phase, s.idx, confirm, s.seen)
+}
+
+var _ model.StateKeyWriter = floodState{}
+
+// KeyTo streams exactly the bytes Key returns (model.StateKeyWriter), so
+// fingerprinting a flood configuration never materialises key strings.
+// TestFloodKeyToMatchesKey holds the two together.
+func (s floodState) KeyTo(w model.KeyWriter) {
+	_, _ = w.WriteString(s.rules.name)
+	w.WriteInt(s.n)
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(string(s.pref))
+	_ = w.WriteByte('|')
+	w.WriteInt(int(s.phase))
+	_ = w.WriteByte('|')
+	w.WriteInt(s.idx)
+	_ = w.WriteByte('|')
+	confirm := byte('n')
+	if s.confirming {
+		confirm = 'y'
+	}
+	_ = w.WriteByte(confirm)
+	_ = w.WriteByte('|')
+	_, _ = w.WriteString(s.seen)
 }
 
 // runeOf maps a register value to its scan encoding.

@@ -66,6 +66,30 @@ func TestDiskStateKeyToMatchesKey(t *testing.T) {
 	})
 }
 
+// TestFloodKeyToMatchesKey holds floodState's streaming key to its Sprintf
+// reference byte for byte across reachable flood configurations.
+func TestFloodKeyToMatchesKey(t *testing.T) {
+	c := model.NewConfig(Flood{}, []model.Value{"0", "1", "1"})
+	opts := explore.Options{MaxConfigs: 20000}
+	var kb model.KeyBuilder
+	seen := 0
+	_, err := explore.Reach(context.Background(), c, []int{0, 1, 2}, opts, func(v explore.Visit) bool {
+		for pid := 0; pid < v.Config.NumProcesses(); pid++ {
+			s := v.Config.State(pid).(floodState)
+			kb.Reset()
+			s.KeyTo(&kb)
+			if got, want := kb.String(), s.Key(); got != want {
+				t.Fatalf("p%d: KeyTo wrote %q, Key returns %q", pid, got, want)
+			}
+		}
+		seen++
+		return true
+	})
+	if err != nil && seen < opts.MaxConfigs-1 {
+		t.Fatal(err)
+	}
+}
+
 // TestCanonicalKeyToFallback pins the non-DiskRace fallback: on a foreign
 // configuration the streaming canonicaliser must emit Config.Key, exactly
 // as CanonicalKey falls back to it.

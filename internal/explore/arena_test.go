@@ -1,0 +1,296 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+)
+
+// TestArenaMatchesLegacyFrontier is the packed hot path's equivalence
+// property: on every zoo protocol — DiskRace n=3 and a deep linear chain
+// included — the arena frontier (packed codec, stepper, raw pre-dedup)
+// and the legacy Config frontier must produce identical Counts, Steps,
+// visit IDs, canonical keys per ID, and visited fingerprint sets, for
+// both a single worker and a parallel pool. Run under -race it also
+// checks the arena path's synchronisation.
+func TestArenaMatchesLegacyFrontier(t *testing.T) {
+	forcePool(t)
+	cases := equivalenceCases()
+	cases = append(cases, equivalenceCase{
+		name:   "deep-chain",
+		config: model.NewConfig(chainMachine{}, []model.Value{"500"}),
+		pids:   []int{0},
+	})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			type run struct {
+				res  *Result
+				keys []string
+			}
+			runWith := func(workers int, legacy bool) run {
+				opts := tc.opts
+				opts.Workers = workers
+				opts.legacyFrontier = legacy
+				var keys []string
+				res, err := Reach(context.Background(), tc.config, tc.pids, opts, func(v Visit) bool {
+					if v.ID != len(keys) {
+						t.Fatalf("visit IDs not sequential: got %d at visit %d", v.ID, len(keys))
+					}
+					keys = append(keys, opts.ConfigKey(v.Config))
+					return true
+				})
+				if err != nil && !tc.capped {
+					t.Fatalf("workers=%d legacy=%v: %v", workers, legacy, err)
+				}
+				return run{res: res, keys: keys}
+			}
+			for _, workers := range []int{1, 4} {
+				legacy := runWith(workers, true)
+				packed := runWith(workers, false)
+				if packed.res.Count != legacy.res.Count {
+					t.Errorf("workers=%d: packed Count=%d, legacy=%d", workers, packed.res.Count, legacy.res.Count)
+				}
+				if !tc.capped && packed.res.Steps != legacy.res.Steps {
+					t.Errorf("workers=%d: packed Steps=%d, legacy=%d", workers, packed.res.Steps, legacy.res.Steps)
+				}
+				if len(packed.keys) != len(legacy.keys) {
+					t.Fatalf("workers=%d: packed visited %d configs, legacy %d", workers, len(packed.keys), len(legacy.keys))
+				}
+				if workers == 1 {
+					// A single worker is fully deterministic: the packed
+					// path must reproduce the legacy visit sequence id
+					// for id, key for key.
+					for id := range packed.keys {
+						if packed.keys[id] != legacy.keys[id] {
+							t.Fatalf("workers=%d: id %d key %q (packed) != %q (legacy)",
+								workers, id, packed.keys[id], legacy.keys[id])
+						}
+					}
+				}
+				if tc.capped && workers > 1 {
+					// Same-level duplicate election races across worker
+					// chunks, so a mid-level cap may truncate a different
+					// tail; only the count is comparable (checked above).
+					continue
+				}
+				// The visited fingerprint set — what dedup and checkpoints
+				// actually rely on — is deterministic per level even when
+				// representative election races: compare it sorted.
+				fps := func(keys []string) []Fingerprint {
+					out := make([]Fingerprint, len(keys))
+					for i, k := range keys {
+						out[i] = fingerprintOf(k)
+					}
+					sort.Slice(out, func(a, b int) bool {
+						if out[a][0] != out[b][0] {
+							return out[a][0] < out[b][0]
+						}
+						return out[a][1] < out[b][1]
+					})
+					return out
+				}
+				pf, lf := fps(packed.keys), fps(legacy.keys)
+				for i := range pf {
+					if pf[i] != lf[i] {
+						t.Fatalf("workers=%d: fingerprint sets diverge at %d", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestArenaPathsReplay: witness paths recorded by the packed path must
+// replay to configurations with the recorded canonical keys, exactly like
+// the legacy path's (covering the via/parent bookkeeping in the arena
+// merge).
+func TestArenaPathsReplay(t *testing.T) {
+	forcePool(t)
+	disk := consensus.DiskRace{}
+	c := model.NewConfig(disk, []model.Value{"0", "1", "1"})
+	opts := Options{KeyFn: disk.CanonicalKey, KeyTo: disk.CanonicalKeyTo, MaxConfigs: 4000, Workers: 4}
+	var keys []string
+	res, err := Reach(context.Background(), c, []int{0, 1, 2}, opts, func(v Visit) bool {
+		keys = append(keys, opts.ConfigKey(v.Config))
+		return true
+	})
+	if err != nil && !errors.Is(err, ErrCapped) {
+		t.Fatal(err)
+	}
+	for id, key := range keys {
+		path, ok := res.PathTo(id)
+		if !ok {
+			t.Fatalf("PathTo(%d) failed", id)
+		}
+		if got := opts.ConfigKey(model.RunPath(c, path)); got != key {
+			t.Fatalf("replay of id %d lands on %q, visited %q", id, got, key)
+		}
+	}
+}
+
+// TestArenaSpillMatchesLegacySpill drives both frontier representations
+// through the spill path (budget 1 spills every batch) and demands the
+// identical visit sequence: the packed spill chunks must round-trip
+// through disk exactly like the legacy Config chunks.
+func TestArenaSpillMatchesLegacySpill(t *testing.T) {
+	c := model.NewConfig(chainMachine{}, []model.Value{"4", "4"})
+	p := []int{0, 1}
+	run := func(legacy bool) []string {
+		opts := Options{Workers: 1, SpillDir: t.TempDir(), SpillBudget: 1}
+		opts.legacyFrontier = legacy
+		var keys []string
+		if _, err := Reach(context.Background(), c, p, opts, func(v Visit) bool {
+			keys = append(keys, opts.ConfigKey(v.Config))
+			return true
+		}); err != nil {
+			t.Fatalf("legacy=%v: %v", legacy, err)
+		}
+		return keys
+	}
+	legacy, packed := run(true), run(false)
+	if len(legacy) != len(packed) {
+		t.Fatalf("packed spill visited %d configs, legacy %d", len(packed), len(legacy))
+	}
+	for i := range legacy {
+		if legacy[i] != packed[i] {
+			t.Fatalf("visit %d: packed %q, legacy %q", i, packed[i], legacy[i])
+		}
+	}
+}
+
+// TestMixWordsDistinctness hammers the packed-record hash with structured
+// near-identical inputs (the regime raw pre-dedup lives in: records
+// differing in a couple of dictionary ids) and demands zero collisions.
+func TestMixWordsDistinctness(t *testing.T) {
+	seen := make(map[Fingerprint][]uint64, 400000)
+	check := func(ws []uint64) {
+		fp := mixWords(ws)
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("mixWords collision between %v and %v", prev, ws)
+		}
+		seen[fp] = append([]uint64{}, ws...)
+	}
+	for i := uint64(0); i < 500; i++ {
+		for j := uint64(0); j < 500; j++ {
+			check([]uint64{i, j<<32 | i})
+		}
+	}
+	// Length must be part of the digest: a record extended by a zero word
+	// encodes a different configuration shape.
+	check([]uint64{1, 2, 0})
+	check([]uint64{1, 2, 0, 0})
+	check([]uint64{0})
+	check([]uint64{})
+}
+
+// TestFNVReferenceFingerprintDistinctness keeps the retired FNV-128
+// reference honest (it remains the cross-check implementation for the
+// wyhash-style mixer): same structured-key sweep, zero collisions.
+func TestFNVReferenceFingerprintDistinctness(t *testing.T) {
+	seen := make(map[Fingerprint]string, 100000)
+	for i := 0; i < 100000; i++ {
+		key := fmt.Sprintf("D%d|cfg|%d", i%7, i)
+		fp := fingerprintFNV128(key)
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("FNV collision between %q and %q", prev, key)
+		}
+		seen[fp] = key
+	}
+}
+
+// TestFPSetOpenAddressing covers the open-addressed visited set directly:
+// duplicate rejection, the out-of-band zero fingerprint, growth across the
+// 128-slot floor, Len accounting, and dump completeness — for both the
+// striped and the lock-free single-goroutine variants.
+func TestFPSetOpenAddressing(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *fpSet
+	}{
+		{"locked", newFPSet},
+		{"local", newFPSetLocal},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.mk()
+			rng := rand.New(rand.NewSource(42))
+			const n = 50000
+			want := make(map[Fingerprint]bool, n+1)
+			want[Fingerprint{}] = true
+			if !s.Add(Fingerprint{}) {
+				t.Fatal("zero fingerprint rejected on first insert")
+			}
+			if s.Add(Fingerprint{}) {
+				t.Fatal("zero fingerprint accepted twice")
+			}
+			for len(want) < n+1 {
+				fp := Fingerprint{rng.Uint64(), rng.Uint64()}
+				if want[fp] {
+					continue
+				}
+				want[fp] = true
+				if !s.Add(fp) {
+					t.Fatalf("fresh fingerprint %x rejected", fp)
+				}
+				if s.Add(fp) {
+					t.Fatalf("duplicate fingerprint %x accepted", fp)
+				}
+			}
+			if s.Len() != n+1 {
+				t.Fatalf("Len = %d, want %d", s.Len(), n+1)
+			}
+			got := s.dump()
+			if len(got) != n+1 {
+				t.Fatalf("dump returned %d fingerprints, want %d", len(got), n+1)
+			}
+			for _, fp := range got {
+				if !want[fp] {
+					t.Fatalf("dump invented fingerprint %x", fp)
+				}
+				delete(want, fp)
+			}
+			if len(want) != 0 {
+				t.Fatalf("dump lost %d fingerprints", len(want))
+			}
+		})
+	}
+}
+
+// TestFPSetConcurrentAdds races many goroutines over one striped set: each
+// fingerprint must be won exactly once however the Adds interleave.
+func TestFPSetConcurrentAdds(t *testing.T) {
+	s := newFPSet()
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	wins := make(chan int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			won := 0
+			for i := 0; i < perG; i++ {
+				// All goroutines insert the same universe of fingerprints.
+				fp := mixWords([]uint64{uint64(i), uint64(i) * 3})
+				if s.Add(fp) {
+					won++
+				}
+			}
+			wins <- won
+		}()
+	}
+	total := 0
+	for g := 0; g < goroutines; g++ {
+		total += <-wins
+	}
+	if total != perG {
+		t.Fatalf("distinct fingerprints won %d times total, want exactly %d", total, perG)
+	}
+	if s.Len() != perG {
+		t.Fatalf("Len = %d, want %d", s.Len(), perG)
+	}
+}

@@ -61,7 +61,7 @@ func (sn *Snapshotter) Count() int { return sn.res.Count }
 // Data materialises the frozen search state. The error is non-nil only
 // when a spilled frontier chunk cannot be read back.
 func (sn *Snapshotter) Data() (*LevelCheckpoint, error) {
-	frontierIDs, err := sn.level.ids()
+	frontierIDs, err := sn.level.allIDs()
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +75,7 @@ func (sn *Snapshotter) Data() (*LevelCheckpoint, error) {
 		Nodes:        make([]CheckpointNode, len(sn.res.nodes)),
 	}
 	for i, n := range sn.res.nodes {
-		cp.Nodes[i] = CheckpointNode{Parent: n.parent, Depth: n.depth, Via: n.via}
+		cp.Nodes[i] = CheckpointNode{Parent: n.parent, Depth: n.depth, Via: model.UnpackMove(n.via)}
 	}
 	return cp, nil
 }
@@ -94,7 +94,11 @@ func (s *search) restore(cp *LevelCheckpoint, res *Result, level *frontier, root
 	}
 	res.nodes = make([]node, len(cp.Nodes))
 	for i, n := range cp.Nodes {
-		res.nodes[i] = node{parent: n.Parent, depth: n.Depth, via: n.Via}
+		via, err := model.PackMove(n.Via)
+		if err != nil {
+			return fmt.Errorf("explore: resume node %d: %w", i, err)
+		}
+		res.nodes[i] = node{parent: n.Parent, depth: n.Depth, via: via}
 	}
 	res.Count = cp.Count
 	res.Steps = cp.Steps
@@ -102,6 +106,21 @@ func (s *search) restore(cp *LevelCheckpoint, res *Result, level *frontier, root
 	res.Depth = cp.Depth
 	for _, fp := range cp.Fingerprints {
 		s.visited.Add(fp)
+	}
+	if s.codec != nil {
+		level.ids = make([]int32, 0, len(cp.Frontier))
+		level.words = make([]uint64, len(cp.Frontier)*s.stride)
+		for i, id := range cp.Frontier {
+			cfg, err := replayTo(res, root, int(id))
+			if err != nil {
+				return fmt.Errorf("explore: resume frontier: %w", err)
+			}
+			if err := s.codec.PackTo(level.words[i*s.stride:(i+1)*s.stride], cfg); err != nil {
+				return fmt.Errorf("explore: resume frontier: %w", err)
+			}
+			level.ids = append(level.ids, id)
+		}
+		return nil
 	}
 	level.mem = make([]levelEntry, 0, len(cp.Frontier))
 	for _, id := range cp.Frontier {

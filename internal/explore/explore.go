@@ -11,12 +11,15 @@
 // search reports it explicitly instead of silently returning partial truth.
 //
 // The search is built for tens of millions of configurations on a single
-// machine: the visited set holds only 128-bit FNV fingerprints of canonical
+// machine: the visited set holds only 128-bit fingerprints of canonical
 // keys (a false merge needs a fingerprint collision; for 10^8 states the
 // probability is below 10^-21), nodes retain only a parent index and the
-// connecting move for witness-path reconstruction, and full configurations
-// live only on the BFS frontier. Callers inspect configurations in the
-// visit callback, while they are transiently available.
+// packed connecting move for witness-path reconstruction, and the BFS
+// frontier itself is a flat arena of bit-packed dictionary-index records
+// (model.PackedCodec) materialised into configurations only in the batch
+// being expanded. Callers inspect configurations in the visit callback,
+// while they are transiently available — Visit.Config must not be retained
+// past the callback's return (clone it if needed).
 //
 // The frontier is expanded level-synchronously by a pool of workers
 // (Options.Workers) that deduplicate through a sharded lock-striped
@@ -106,6 +109,11 @@ type Options struct {
 	// SpillBudget is the approximate in-memory frontier byte budget; <= 0
 	// disables spilling.
 	SpillBudget int64
+	// legacyFrontier selects the original retained-Config frontier and
+	// Apply-per-transition expansion instead of the packed arena engine.
+	// Unexported: it exists so the equivalence tests can hold the two
+	// engines to identical results, not as a user-facing knob.
+	legacyFrontier bool
 }
 
 // ConfigKey returns the state identity of c under these options, in its
@@ -138,11 +146,14 @@ func (o Options) workers() int {
 }
 
 // node is the retained per-state record: enough to reconstruct the witness
-// path, nothing more.
+// path, nothing more. via holds the connecting move in its 32-bit
+// model.PackMove encoding — the forest is retained for every visited
+// configuration, so a Move's string header here would dominate the
+// search's permanent footprint.
 type node struct {
 	parent int32
 	depth  int32
-	via    model.Move
+	via    uint32
 }
 
 // Visit is the information handed to the visit callback for each distinct
@@ -183,7 +194,7 @@ func (r *Result) PathTo(id int) (model.Path, bool) {
 	var rev model.Path
 	for id != 0 {
 		n := r.nodes[id]
-		rev = append(rev, n.via)
+		rev = append(rev, model.UnpackMove(n.via))
 		id = int(n.parent)
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
@@ -200,7 +211,8 @@ func (r *Result) PathTo(id int) (model.Path, bool) {
 // exploration inner loop allocation-free: workers pass a reused buffer.
 func AppendMoves(dst []model.Move, c model.Config, p []int) []model.Move {
 	for _, pid := range p {
-		switch c.State(pid).Pending().Kind {
+		k, _ := model.PeekOp(c.State(pid))
+		switch k {
 		case model.OpDecide:
 			// Terminated; contributes no transitions.
 		case model.OpCoin:
@@ -223,16 +235,19 @@ func Moves(c model.Config, p []int) []model.Move {
 
 // Apply performs the move on c.
 func Apply(c model.Config, m model.Move) model.Config {
-	if c.State(m.Pid).Pending().Kind == model.OpCoin {
+	if k, _ := model.PeekOp(c.State(m.Pid)); k == model.OpCoin {
 		return c.Step(m.Pid, m.Coin)
 	}
 	return c.StepDet(m.Pid)
 }
 
-// levelEntry is one frontier configuration awaiting expansion.
+// levelEntry is one frontier configuration awaiting expansion. In packed
+// mode words is the entry's record in the frontier arena (the parent
+// template child packing patches); legacy mode leaves it nil.
 type levelEntry struct {
-	cfg model.Config
-	id  int32
+	cfg   model.Config
+	id    int32
+	words []uint64
 }
 
 // parallelThreshold is the smallest level size worth fanning out to the
@@ -260,18 +275,30 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 		return res, fmt.Errorf("reach cancelled before start: %w (and %w)", err, ErrCapped)
 	}
 
+	// A single-worker search never starts the pool, so its sets are only
+	// ever touched by this goroutine and can skip their stripe mutexes.
+	mkSet := newFPSet
+	if opts.workers() <= 1 {
+		mkSet = newFPSetLocal
+	}
 	s := &search{
 		ctx:        ctx,
 		opts:       opts,
 		p:          p,
 		maxConfigs: maxConfigs,
-		visited:    newFPSet(),
+		visited:    mkSet(),
 		scratch:    newWorkerScratch(),
 	}
+	if !opts.legacyFrontier {
+		s.codec = model.NewPackedCodec(c)
+		s.stride = s.codec.Words()
+		s.rawSeen = mkSet()
+	}
 	defer s.stopWorkers()
-	gov := newSpillGovernor(&opts, c)
+	gov := newSpillGovernor(&opts, c, s.stride)
 
 	var level, next frontier
+	level.stride, next.stride = s.stride, s.stride
 	defer func() { level.discard(); next.discard() }()
 	depth := int32(0)
 	if opts.ResumeFrom != nil {
@@ -288,10 +315,18 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 			res.Capped = true
 			return res, fmt.Errorf("reach from %d procs: %w", len(p), ErrCapped)
 		}
-		level.mem = append(level.mem, levelEntry{cfg: c, id: 0})
+		if s.codec != nil {
+			rec := make([]uint64, s.stride)
+			if err := s.codec.PackTo(rec, c); err != nil {
+				return res, fmt.Errorf("reach root: %w", err)
+			}
+			level.addPacked(0, rec, nil)
+		} else {
+			level.mem = append(level.mem, levelEntry{cfg: c, id: 0})
+		}
 	}
 
-	var chunkBuf []levelEntry
+	var buf batchBuf
 	for level.size() > 0 {
 		if opts.Snapshot != nil {
 			opts.Snapshot(&Snapshotter{s: s, res: res, level: &level, depth: int(depth)})
@@ -317,17 +352,22 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 		// the worker count nor the spill layout.
 		err := func() error {
 			for bi := 0; bi < level.numBatches(); bi++ {
-				batch, err := level.batch(bi, res, c, &chunkBuf)
+				batch, err := level.batch(bi, res, c, &buf)
 				if err != nil {
 					res.Capped = true
-					return fmt.Errorf("reach spill: %w (and %w)", err, ErrCapped)
+					return fmt.Errorf("reach frontier: %w (and %w)", err, ErrCapped)
 				}
 				chunks := s.expandLevel(batch)
 				if err := ctx.Err(); err != nil {
 					res.Capped = true
 					return fmt.Errorf("reach cancelled after %d configs: %w (and %w)", res.Count, err, ErrCapped)
 				}
-				for _, ch := range chunks {
+				for ci := range chunks {
+					ch := &chunks[ci]
+					if ch.err != nil {
+						res.Capped = true
+						return fmt.Errorf("reach pack after %d configs: %w (and %w)", res.Count, ch.err, ErrCapped)
+					}
 					res.Steps += ch.dupSteps
 					levelDups += ch.dupSteps
 					for i := range ch.slots {
@@ -350,7 +390,11 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 							res.Capped = true
 							return fmt.Errorf("reach hit %d configs: %w", maxConfigs, ErrCapped)
 						}
-						next.add(levelEntry{cfg: sl.cfg, id: id}, gov)
+						if s.codec != nil {
+							next.addPacked(id, ch.words[i*s.stride:(i+1)*s.stride], gov)
+						} else {
+							next.add(levelEntry{cfg: sl.cfg, id: id}, gov)
+						}
 					}
 				}
 			}

@@ -1,27 +1,137 @@
 package explore
 
 import (
-	"hash"
+	"encoding/binary"
 	"hash/fnv"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/model"
 )
 
-// Fingerprint is a 128-bit FNV-1a digest of a configuration's canonical
-// key. The visited set and the valency oracle's memo tables store
-// fingerprints instead of key strings: equality of fingerprints is treated
-// as equality of canonical keys. A false merge therefore needs a 128-bit
-// collision — for 10^8 distinct states the probability is below 10^-21,
-// far below the chance of a memory error on commodity hardware, which is
-// the standard this repository accepts for "exhaustive".
+// Fingerprint is a 128-bit digest of a configuration's canonical key. The
+// visited set and the valency oracle's memo tables store fingerprints
+// instead of key strings: equality of fingerprints is treated as equality
+// of canonical keys. A false merge therefore needs a 128-bit collision —
+// for 10^8 distinct states the probability is below 10^-21, far below the
+// chance of a memory error on commodity hardware, which is the standard
+// this repository accepts for "exhaustive".
+//
+// The digest is mix128, a wyhash-style multiply-fold mix that consumes the
+// key eight bytes per load instead of FNV-128a's one multiply per byte;
+// the old FNV digest is retained as fingerprintFNV128, the cross-checked
+// reference the migration tests hold the new hash against (DESIGN.md S22).
+// Fingerprints are durable (checkpoint snapshots persist them), so
+// FingerprintVersion names the active function and changes whenever it
+// does.
 type Fingerprint [2]uint64
+
+// FingerprintVersion identifies the fingerprint function. Version 1 was
+// FNV-128a; version 2 is mix128. Snapshots record the version of the
+// fingerprints they carry, and resume refuses a mismatch: stale-hash
+// fingerprints would never match live ones, silently degrading a resumed
+// run to a cold start.
+const FingerprintVersion = 2
+
+// mix128 constants: the first four secrets of wyhash v4.
+const (
+	mixK0 = 0xa0761d6478bd642f
+	mixK1 = 0xe7037ed1a0b428db
+	mixK2 = 0x8ebc6af09c88c6e3
+	mixK3 = 0x589965cc75374cc3
+)
+
+// mum is the multiply-fold primitive: the 128-bit product of a and b,
+// folded to 64 bits by xor of its halves.
+func mum(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+// mix128 digests p into a 128-bit fingerprint. Two 64-bit mum-chains with
+// distinct secrets each consume the full input stream sixteen bytes per
+// round (word-at-a-time loads), then two cross-feeding finalisation rounds
+// couple the lanes. Short and ragged tails are read as overlapping or
+// byte-accumulated words. Input here is canonical protocol keys — not
+// adversarial — and the collision standard is the 128-bit one documented
+// on Fingerprint; TestMix128Distinctness and the zoo differential tests
+// hold it against the FNV reference on real key populations.
+func mix128(p []byte) Fingerprint {
+	n := uint64(len(p))
+	h1 := mixK0 ^ n*mixK2
+	h2 := mixK1 ^ n*mixK3
+	var a, b uint64
+	switch {
+	case len(p) > 16:
+		q := p
+		for len(q) > 16 {
+			a = binary.LittleEndian.Uint64(q)
+			b = binary.LittleEndian.Uint64(q[8:])
+			h1 = mum(a^mixK2, b^h1)
+			h2 = mum(a^h2, b^mixK3)
+			q = q[16:]
+		}
+		// Final block: the last sixteen bytes, overlapping the loop's
+		// tail so every byte is covered without a branchy remainder.
+		t := p[len(p)-16:]
+		a = binary.LittleEndian.Uint64(t)
+		b = binary.LittleEndian.Uint64(t[8:])
+	case len(p) >= 8:
+		a = binary.LittleEndian.Uint64(p)
+		b = binary.LittleEndian.Uint64(p[len(p)-8:])
+	case len(p) > 0:
+		for i := len(p) - 1; i >= 0; i-- {
+			a = a<<8 | uint64(p[i])
+		}
+	}
+	h1 = mum(a^mixK2, b^h1)
+	h2 = mum(a^h2, b^mixK3)
+	h1 = mum(h1^mixK3, h2^mixK1)
+	h2 = mum(h2^mixK0, h1^mixK2)
+	return Fingerprint{h1, h2}
+}
 
 // fingerprintOf digests an already-materialised key string. It is the
 // reference form of hasher.fingerprint; the streaming path must produce
 // identical fingerprints (TestStreamingKeysMatchStringKeys).
 func fingerprintOf(key string) Fingerprint {
+	return mix128([]byte(key))
+}
+
+// mixWords digests a packed record (a []uint64 instance-local encoding)
+// with the same mixing rounds as mix128. It keys the raw-identity
+/// pre-filter in the explorer: packed records are exact encodings, so equal
+// words mean equal configurations, and a second, cheaper hash over the
+// words lets the hot path skip the canonical key stream for the (majority
+// of) transitions that recreate an already-seen record verbatim. The
+// resulting fingerprints live in their own set — they use dictionary ids,
+// which are instance-scoped, so they are never persisted or compared with
+// canonical fingerprints.
+func mixWords(ws []uint64) Fingerprint {
+	n := uint64(len(ws))
+	h1 := mixK0 ^ n*mixK2
+	h2 := mixK1 ^ n*mixK3
+	i := 0
+	for ; i+1 < len(ws); i += 2 {
+		h1 = mum(ws[i]^mixK2, ws[i+1]^h1)
+		h2 = mum(ws[i]^h2, ws[i+1]^mixK3)
+	}
+	if i < len(ws) {
+		a := ws[i]
+		h1 = mum(a^mixK2, h1)
+		h2 = mum(a^h2, mixK3)
+	}
+	h1 = mum(h1^mixK3, h2^mixK1)
+	h2 = mum(h2^mixK0, h1^mixK2)
+	return Fingerprint{h1, h2}
+}
+
+// fingerprintFNV128 is the retired FNV-1a digest, kept as an independent
+// reference implementation: the migration tests run it alongside mix128
+// over the same key populations and require both to be injective, so a
+// defect in the new mix cannot hide behind its own output.
+func fingerprintFNV128(key string) Fingerprint {
 	h := fnv.New128a()
 	_, _ = h.Write([]byte(key))
 	var sum [16]byte
@@ -35,19 +145,17 @@ func fingerprintOf(key string) Fingerprint {
 }
 
 // hasher is per-worker scratch for streaming a configuration's canonical
-// key into an FNV-128a state without materialising it. Not safe for
+// key into a fingerprint without materialising it. Not safe for
 // concurrent use.
 type hasher struct {
-	kb  model.KeyBuilder
-	h   hash.Hash
-	sum [16]byte
+	kb model.KeyBuilder
 }
 
 func newHasher() *hasher {
-	return &hasher{h: fnv.New128a()}
+	return &hasher{}
 }
 
-// fingerprint digests c's canonical key under opts. Preference order:
+/// fingerprint digests c's canonical key under opts. Preference order:
 // KeyTo (pure streaming), then KeyFn (string materialised, then hashed —
 // still correct, just slower), then Config.KeyTo.
 func (hs *hasher) fingerprint(opts *Options, c model.Config) Fingerprint {
@@ -60,15 +168,7 @@ func (hs *hasher) fingerprint(opts *Options, c model.Config) Fingerprint {
 	default:
 		c.KeyTo(&hs.kb)
 	}
-	hs.h.Reset()
-	_, _ = hs.h.Write(hs.kb.Bytes())
-	sum := hs.h.Sum(hs.sum[:0])
-	var fp Fingerprint
-	for i := 0; i < 8; i++ {
-		fp[0] = fp[0]<<8 | uint64(sum[i])
-		fp[1] = fp[1]<<8 | uint64(sum[8+i])
-	}
-	return fp
+	return mix128(hs.kb.Bytes())
 }
 
 var hasherPool = sync.Pool{New: func() any { return newHasher() }}
@@ -83,48 +183,140 @@ func (o Options) Fingerprint(c model.Config) Fingerprint {
 	return fp
 }
 
+// Fingerprinter is reusable fingerprinting scratch bound to one option
+// set: Options.Fingerprint's pool round-trip and options copy were
+// measurable at one call per memoised query, so single-goroutine callers
+// (the valency oracle) hold one of these instead. Not safe for concurrent
+// use.
+type Fingerprinter struct {
+	opts Options
+	hs   hasher
+}
+
+// NewFingerprinter returns a Fingerprinter computing exactly the
+// fingerprints o.Fingerprint would.
+func (o Options) NewFingerprinter() *Fingerprinter {
+	return &Fingerprinter{opts: o}
+}
+
+// Fingerprint digests c's canonical key.
+func (f *Fingerprinter) Fingerprint(c model.Config) Fingerprint {
+	return f.hs.fingerprint(&f.opts, c)
+}
+
 // fpShards is the stripe count of the visited set. 64 stripes keep
 // contention negligible for any plausible worker count while the
 // per-stripe padding stays cheap.
 const fpShards = 64
 
+// fpShard is one stripe: an open-addressed, linearly probed table of
+// fingerprints. Fingerprints are already uniform 128-bit hashes, so slots
+// are probed straight from the fingerprint bits — no secondary hashing —
+// and membership is a lock, one or two cache lines, an unlock. The
+// all-zero fingerprint (probability 2^-128, but cheap to be exact about)
+// is tracked out of band so the zero slot can mean "empty".
 type fpShard struct {
-	mu sync.Mutex
-	m  map[Fingerprint]struct{}
+	mu   sync.Mutex
+	tbl  []Fingerprint
+	n    int
+	zero bool
 	// Pad each shard past a cache line so neighbouring mutexes do not
 	// false-share under contention.
-	_ [40]byte
+	_ [16]byte
+}
+
+// add inserts fp into the shard, reporting whether it was absent. The
+// caller holds sh.mu.
+func (sh *fpShard) add(fp Fingerprint) bool {
+	if fp == (Fingerprint{}) {
+		if sh.zero {
+			return false
+		}
+		sh.zero = true
+		sh.n++
+		return true
+	}
+	if 4*(sh.n+1) > 3*len(sh.tbl) {
+		sh.grow()
+	}
+	mask := uint64(len(sh.tbl) - 1)
+	// fp[0]'s low bits picked the shard; probe from fp[1] so the slot is
+	// independent of the stripe.
+	for i := fp[1] & mask; ; i = (i + 1) & mask {
+		switch sh.tbl[i] {
+		case fp:
+			return false
+		case Fingerprint{}:
+			sh.tbl[i] = fp
+			sh.n++
+			return true
+		}
+	}
+}
+
+// grow quadruples the shard table (from a 128-slot floor) and reinserts.
+// The aggressive factor keeps total rehash work near n/3 inserts — visited
+// sets only ever grow, so oversizing one step is cheaper than re-moving
+// the same fingerprints an extra time.
+func (sh *fpShard) grow() {
+	old := sh.tbl
+	size := 4 * len(old)
+	if size < 128 {
+		size = 128
+	}
+	sh.tbl = make([]Fingerprint, size)
+	mask := uint64(size - 1)
+	for _, fp := range old {
+		if fp == (Fingerprint{}) {
+			continue
+		}
+		i := fp[1] & mask
+		for sh.tbl[i] != (Fingerprint{}) {
+			i = (i + 1) & mask
+		}
+		sh.tbl[i] = fp
+	}
 }
 
 // fpSet is the sharded lock-striped visited set raced by the expansion
 // workers. Add is linearisable per fingerprint: exactly one caller wins a
-// given fingerprint, however many workers race it.
+// given fingerprint, however many workers race it. A set built with
+// newFPSetLocal skips the stripe mutexes — sound only while a single
+// goroutine owns every Add, which Reach guarantees when Options.Workers
+// resolves to 1 (the pool is never started, so the coordinator is the only
+// caller).
 type fpSet struct {
 	count  atomic.Int64
+	locked bool
 	shards [fpShards]fpShard
 }
 
 func newFPSet() *fpSet {
-	s := &fpSet{}
-	for i := range s.shards {
-		s.shards[i].m = make(map[Fingerprint]struct{}, 64)
-	}
-	return s
+	return &fpSet{locked: true}
+}
+
+func newFPSetLocal() *fpSet {
+	return &fpSet{}
 }
 
 // Add inserts fp and reports whether it was absent (i.e. the caller is the
 // unique winner for this fingerprint).
 func (s *fpSet) Add(fp Fingerprint) bool {
 	sh := &s.shards[fp[0]&(fpShards-1)]
-	sh.mu.Lock()
-	if _, ok := sh.m[fp]; ok {
-		sh.mu.Unlock()
+	if !s.locked {
+		if sh.add(fp) {
+			s.count.Add(1)
+			return true
+		}
 		return false
 	}
-	sh.m[fp] = struct{}{}
+	sh.mu.Lock()
+	fresh := sh.add(fp)
 	sh.mu.Unlock()
-	s.count.Add(1)
-	return true
+	if fresh {
+		s.count.Add(1)
+	}
+	return fresh
 }
 
 // Len returns the number of distinct fingerprints inserted so far. It may
@@ -141,8 +333,13 @@ func (s *fpSet) dump() []Fingerprint {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		for fp := range sh.m {
-			out = append(out, fp)
+		if sh.zero {
+			out = append(out, Fingerprint{})
+		}
+		for _, fp := range sh.tbl {
+			if fp != (Fingerprint{}) {
+				out = append(out, fp)
+			}
 		}
 		sh.mu.Unlock()
 	}

@@ -15,6 +15,15 @@ import (
 // worker count; only the choice of representative among same-level
 // duplicates (and hence the exact witness path) can vary between runs,
 // which is safe because equal fingerprints mean equal canonical keys.
+//
+// In the default packed mode, workers step into per-goroutine scratch
+// (model.StepInto) and encode each surviving child as a fixed-width packed
+// record by patching its parent's record — one state field, plus one value
+// field when the parent was write-poised — so the per-transition cost is a
+// scratch step, a streamed fingerprint and at most two dictionary lookups,
+// with no per-child slice allocations. The reference mode (Options.
+// legacyFrontier) keeps the original Apply-per-transition path; the
+// equivalence tests drive both and require identical results.
 
 // chunksPerWorker over-partitions each level so a slow chunk does not
 // leave the rest of the pool idle.
@@ -30,31 +39,53 @@ const cancelPollStride = 512
 var minChunkSize = 64
 
 // childSlot records one fresh (first-visit) child produced by a worker,
-// pending the coordinator's deterministic merge.
+// pending the coordinator's deterministic merge. via is the connecting
+// move in its model.PackMove encoding — the form the node forest retains.
 type childSlot struct {
 	cfg    model.Config
-	via    model.Move
+	via    uint32
 	parent int32
 }
 
 // chunk is one contiguous slice [lo,hi) of the level being expanded, plus
-// the expansion output. Slot buffers persist across levels to keep the
-// steady state allocation-free.
+// the expansion output. Slot and arena buffers persist across levels to
+// keep the steady state allocation-free. In packed mode words holds the
+// packed record of slots[i] at [i*stride, (i+1)*stride) and slab owns the
+// slot configurations until the coordinator has merged them.
 type chunk struct {
 	lo, hi   int
 	slots    []childSlot
+	words    []uint64
+	slab     model.ConfigSlab
 	dupSteps int
+	err      error
 }
 
-// workerScratch is the per-goroutine reusable state: a moves buffer and a
-// streaming key hasher.
+// workerScratch is the per-goroutine reusable state: a moves buffer (legacy
+// mode), the packed transition engine with its memos and child buffers
+// (packed mode), and a streaming key hasher. The packed pieces are built
+// lazily on the first packed chunk the goroutine expands.
 type workerScratch struct {
-	moves []model.Move
+	moves      []model.Move
+	stepper    *model.PackedStepper
+	childWords []uint64
+	ustates    []model.State
+	uregs      []model.Value
 	*hasher
 }
 
 func newWorkerScratch() *workerScratch {
 	return &workerScratch{hasher: newHasher()}
+}
+
+func (ws *workerScratch) initPacked(codec *model.PackedCodec) {
+	if ws.stepper != nil {
+		return
+	}
+	ws.stepper = codec.NewStepper()
+	ws.childWords = make([]uint64, codec.Words())
+	ws.ustates = make([]model.State, codec.NumProcesses())
+	ws.uregs = make([]model.Value, codec.NumRegisters())
 }
 
 // search carries the state of one Reach call across levels.
@@ -64,7 +95,18 @@ type search struct {
 	p          []int
 	maxConfigs int
 	visited    *fpSet
-	scratch    *workerScratch // coordinator's own scratch, for inline expansion
+	// rawSeen pre-filters packed transitions by the hash of the packed
+	// record itself, skipping the canonical key stream for transitions that
+	// reproduce an already-seen record verbatim. It is a pure cache over
+	// instance-scoped dictionary ids: never persisted in checkpoints (a
+	// resumed search just rebuilds it) and never mixed with visited.
+	rawSeen *fpSet
+	scratch *workerScratch // coordinator's own scratch, for inline expansion
+
+	// codec is the packed-configuration dictionary shared by all workers;
+	// nil in the legacy reference mode. stride is codec.Words().
+	codec  *model.PackedCodec
+	stride int
 
 	level  []levelEntry // the level currently being expanded (read-only to workers)
 	chunks []chunk
@@ -113,10 +155,20 @@ func (s *search) expandLevel(level []levelEntry) []chunk {
 // shared visited set. It bails out early when the context is cancelled or
 // the visited set has already overflowed the configuration cap; both
 // conditions guarantee the coordinator caps the result, so truncated
-// output is never mistaken for exhaustion.
+// output is never mistaken for exhaustion. A packing failure (dictionary
+// capacity) is parked in ch.err for the coordinator.
 func (s *search) expandRange(ch *chunk, ws *workerScratch) {
+	// The previous level's slots were merged before this chunk was
+	// redispatched, so retiring the slab here cannot orphan a live clone.
 	ch.slots = ch.slots[:0]
+	ch.words = ch.words[:0]
+	ch.slab.Reset()
 	ch.dupSteps = 0
+	ch.err = nil
+	if s.codec != nil {
+		s.expandRangePacked(ch, ws)
+		return
+	}
 	steps := 0
 	for i := ch.lo; i < ch.hi; i++ {
 		ent := &s.level[i]
@@ -129,14 +181,89 @@ func (s *search) expandRange(ch *chunk, ws *workerScratch) {
 				}
 			}
 			child := Apply(ent.cfg, m)
-			if s.visited.Add(ws.fingerprint(&s.opts, child)) {
-				ch.slots = append(ch.slots, childSlot{cfg: child, via: m, parent: ent.id})
-			} else {
+			if !s.visited.Add(ws.fingerprint(&s.opts, child)) {
 				ch.dupSteps++
+				continue
+			}
+			via, err := model.PackMove(m)
+			if err != nil {
+				ch.err = err
+				return
+			}
+			ch.slots = append(ch.slots, childSlot{cfg: child, via: via, parent: ent.id})
+		}
+	}
+}
+
+// expandRangePacked is the packed-mode hot loop. It never touches a
+// model.Config on the fast path: moves are enumerated from the parent's
+// interned state ids, transitions run through the per-worker stepper memo
+// directly on the packed words, and a raw-identity pre-filter (a hash of
+// the packed record itself) screens out transitions that rebuild an
+// already-produced record before the canonical key is ever streamed. Only
+// raw-fresh children are unpacked and fingerprinted canonically.
+//
+// The pre-filter is a pure shortcut: packed records are exact, so a
+// raw-duplicate's canonical fingerprint was already added to the visited
+// set when its identical twin was processed — skipping it cannot change
+// the visited set, the visit sequence or the counters.
+func (s *search) expandRangePacked(ch *chunk, ws *workerScratch) {
+	ws.initPacked(s.codec)
+	steps := 0
+	for i := ch.lo; i < ch.hi; i++ {
+		ent := &s.level[i]
+		for _, pid := range s.p {
+			kind, _ := ws.stepper.Op(s.codec.StateID(ent.words, pid))
+			if kind == model.OpDecide {
+				continue
+			}
+			outcomes := 1
+			if kind == model.OpCoin {
+				outcomes = 2
+			}
+			for o := 0; o < outcomes; o++ {
+				steps++
+				if steps%cancelPollStride == 0 {
+					if s.ctx.Err() != nil || s.visited.Len() > s.maxConfigs {
+						return
+					}
+				}
+				coin := model.Bottom
+				if kind == model.OpCoin {
+					coin = coinOutcomes[o]
+				}
+				if err := ws.stepper.StepPacked(ws.childWords, ent.words, pid, coin); err != nil {
+					ch.err = err
+					return
+				}
+				if !s.rawSeen.Add(mixWords(ws.childWords)) {
+					ch.dupSteps++
+					continue
+				}
+				child, err := s.codec.UnpackInto(ws.childWords, ws.ustates, ws.uregs)
+				if err != nil {
+					ch.err = err
+					return
+				}
+				if !s.visited.Add(ws.fingerprint(&s.opts, child)) {
+					ch.dupSteps++
+					continue
+				}
+				via, err := model.PackMove(model.Move{Pid: pid, Coin: coin})
+				if err != nil {
+					ch.err = err
+					return
+				}
+				ch.words = append(ch.words, ws.childWords...)
+				ch.slots = append(ch.slots, childSlot{cfg: ch.slab.Clone(child), via: via, parent: ent.id})
 			}
 		}
 	}
 }
+
+// coinOutcomes lists the two coin results in the order AppendMoves emits
+// them, so packed and legacy mode expand transitions identically.
+var coinOutcomes = [2]model.Value{"0", "1"}
 
 func (s *search) ensureChunks(n int) {
 	for len(s.chunks) < n {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 
@@ -11,36 +12,58 @@ import (
 	"repro/internal/obs"
 )
 
-// The frontier spill governor. Full configurations live only on the BFS
-// frontier, so the frontier IS the search's memory footprint; on spaces
-// whose widest level outgrows RAM, the governor flushes cold chunks of the
-// accumulating next level to disk as id-lists and drops their
-// configurations. A spilled chunk costs a few bytes per entry on disk and
-// nothing in RAM; when its turn comes it is rebuilt by replaying each id's
-// witness path from the root. Chunks are flushed from the front of the
-// level and consumed before the in-memory remainder, so the visit order —
-// and therefore every id and witness path — is identical to an unspilled
-// run.
+// Frontier storage and the spill governor. In the default packed mode a
+// BFS level is two flat arrays — node ids and a contiguous []uint64 arena
+// of fixed-width packed records, stride words per entry — and the level is
+// materialised into model.Config values only arenaBatch entries at a time,
+// immediately before expansion. The legacy reference mode (Options.
+// legacyFrontier) retains full configurations, as the engine originally
+// did; the equivalence tests hold the two modes to identical results.
+//
+// On spaces whose widest level outgrows the spill budget, the governor
+// flushes cold runs of the accumulating next level to files under
+// SpillDir and drops them from memory. Packed spill chunks extend the
+// original id-list format in place: the same count-prefixed uvarint id
+// list, followed by the run's packed words verbatim, so reloading a chunk
+// is a read plus dictionary lookups instead of a witness-path replay per
+// entry (the legacy mode still replays). Chunks are flushed from the
+// front of the level and consumed before the in-memory remainder, so the
+// visit order — and therefore every id and witness path — is identical to
+// an unspilled run.
+
+// arenaBatch is how many packed frontier entries are materialised into
+// configurations at once: large enough to amortise dispatch, small enough
+// that the transient Config working set stays a rounding error next to
+// the arena itself (a variable so the equivalence tests can force many
+// batches onto small spaces).
+var arenaBatch = 8192
 
 // frontier holds one BFS level as spilled chunks (cold, on disk) followed
-// by in-memory entries (hot), in visit order.
+// by the in-memory entries (hot), in visit order. Packed mode fills
+// ids/words; legacy mode fills mem.
 type frontier struct {
-	spilled  []spillChunk
+	spilled []spillChunk
+
+	// stride is the packed record width in words; 0 selects legacy mode.
+	stride int
+	ids    []int32
+	words  []uint64
+
 	mem      []levelEntry
 	memBytes int64
 }
 
 // size returns the number of entries across disk and memory.
 func (f *frontier) size() int {
-	n := len(f.mem)
+	n := len(f.mem) + len(f.ids)
 	for _, ch := range f.spilled {
 		n += ch.count
 	}
 	return n
 }
 
-// add appends a freshly discovered entry, charging it to the governor's
-// budget and spilling the accumulated tail when over.
+// add appends a freshly discovered legacy-mode entry, charging it to the
+// governor's budget and spilling the accumulated tail when over.
 func (f *frontier) add(e levelEntry, g *spillGovernor) {
 	f.mem = append(f.mem, e)
 	if g != nil {
@@ -49,36 +72,99 @@ func (f *frontier) add(e levelEntry, g *spillGovernor) {
 	}
 }
 
+// addPacked appends a freshly discovered packed entry: its node id and its
+// stride-long packed record.
+func (f *frontier) addPacked(id int32, rec []uint64, g *spillGovernor) {
+	f.ids = append(f.ids, id)
+	f.words = append(f.words, rec...)
+	if g != nil {
+		f.memBytes += g.entrySize
+		g.maybeSpill(f)
+	}
+}
+
 // numBatches returns how many expansion batches the level drains in: one
-// per spilled chunk plus one for the in-memory tail.
+// per spilled chunk, then the in-memory tail (in arenaBatch slices when
+// packed).
 func (f *frontier) numBatches() int {
 	n := len(f.spilled)
-	if len(f.mem) > 0 {
+	if f.stride > 0 {
+		n += (len(f.ids) + arenaBatch - 1) / arenaBatch
+	} else if len(f.mem) > 0 {
 		n++
 	}
 	return n
 }
 
+// batchBuf is the coordinator's reusable batching scratch: the entry
+// window handed to the expander and the reload buffers for spilled chunks.
+// One buffer serves one search; a batch dies when the next is built.
+type batchBuf struct {
+	entries []levelEntry
+	ids     []int32
+	words   []uint64
+}
+
 // batch returns the bi-th batch in frontier order, consuming (reading and
-// deleting) spill files as their turn comes.
-func (f *frontier) batch(bi int, res *Result, root model.Config, buf *[]levelEntry) ([]levelEntry, error) {
+// deleting) spill files as their turn comes. Packed batches are windowed
+// into buf; the legacy in-memory tail is returned as is.
+func (f *frontier) batch(bi int, res *Result, root model.Config, buf *batchBuf) ([]levelEntry, error) {
+	if f.stride > 0 {
+		var (
+			ids   []int32
+			words []uint64
+		)
+		if bi < len(f.spilled) {
+			ch := &f.spilled[bi]
+			var err error
+			buf.ids, buf.words, err = readSpillChunk(ch.path, f.stride, buf.ids[:0], buf.words[:0])
+			if err != nil {
+				return nil, err
+			}
+			os.Remove(ch.path)
+			ch.path = ""
+			ids, words = buf.ids, buf.words
+		} else {
+			lo := (bi - len(f.spilled)) * arenaBatch
+			hi := min(lo+arenaBatch, len(f.ids))
+			ids = f.ids[lo:hi]
+			words = f.words[lo*f.stride : hi*f.stride]
+		}
+		return buf.window(f.stride, ids, words), nil
+	}
 	if bi < len(f.spilled) {
 		return f.spilled[bi].load(res, root, buf)
 	}
 	return f.mem, nil
 }
 
-// ids returns the node ids of every entry in order, reading (but not
+// window wraps a run of packed records as levelEntry values. The packed
+// expansion path enumerates moves from the interned state ids and steps
+// directly on the words, so no configuration is decoded here — an entry is
+// just its node id and a view into the arena.
+func (b *batchBuf) window(stride int, ids []int32, words []uint64) []levelEntry {
+	if cap(b.entries) < len(ids) {
+		b.entries = make([]levelEntry, len(ids))
+	}
+	entries := b.entries[:len(ids)]
+	for i, id := range ids {
+		entries[i] = levelEntry{id: id, words: words[i*stride : (i+1)*stride]}
+	}
+	return entries
+}
+
+// allIDs returns the node ids of every entry in order, reading (but not
 // consuming) spilled chunks. Snapshots use it.
-func (f *frontier) ids() ([]int32, error) {
+func (f *frontier) allIDs() ([]int32, error) {
 	out := make([]int32, 0, f.size())
 	for i := range f.spilled {
-		ids, err := readSpillChunk(f.spilled[i].path)
+		ids, err := readSpillChunkIDs(f.spilled[i].path)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, ids...)
 	}
+	out = append(out, f.ids...)
 	for _, e := range f.mem {
 		out = append(out, e.id)
 	}
@@ -92,6 +178,8 @@ func (f *frontier) clear() {
 	f.discard()
 	clear(f.mem)
 	f.mem = f.mem[:0]
+	f.ids = f.ids[:0]
+	f.words = f.words[:0]
 	f.memBytes = 0
 	f.spilled = f.spilled[:0]
 }
@@ -106,23 +194,24 @@ func (f *frontier) discard() {
 	}
 }
 
-// spillChunk is one flushed run of frontier entries: an id-list file plus
-// its entry count.
+// spillChunk is one flushed run of frontier entries: a chunk file plus its
+// entry count.
 type spillChunk struct {
 	path  string
 	count int
 }
 
-// load reads the chunk back, deletes its file, and rebuilds each entry's
-// configuration by path replay into buf.
-func (ch *spillChunk) load(res *Result, root model.Config, buf *[]levelEntry) ([]levelEntry, error) {
-	ids, err := readSpillChunk(ch.path)
+// load reads a legacy chunk back, deletes its file, and rebuilds each
+// entry's configuration by path replay into buf.
+func (ch *spillChunk) load(res *Result, root model.Config, buf *batchBuf) ([]levelEntry, error) {
+	ids, _, err := readSpillChunk(ch.path, 0, buf.ids[:0], nil)
 	if err != nil {
 		return nil, err
 	}
+	buf.ids = ids
 	os.Remove(ch.path)
 	ch.path = ""
-	entries := (*buf)[:0]
+	entries := buf.entries[:0]
 	for _, id := range ids {
 		cfg, err := replayTo(res, root, int(id))
 		if err != nil {
@@ -130,7 +219,7 @@ func (ch *spillChunk) load(res *Result, root model.Config, buf *[]levelEntry) ([
 		}
 		entries = append(entries, levelEntry{cfg: cfg, id: id})
 	}
-	*buf = entries
+	buf.entries = entries
 	return entries, nil
 }
 
@@ -143,20 +232,26 @@ type spillGovernor struct {
 	disabled  bool
 }
 
-func newSpillGovernor(opts *Options, root model.Config) *spillGovernor {
+func newSpillGovernor(opts *Options, root model.Config, stride int) *spillGovernor {
 	if opts.SpillDir == "" || opts.SpillBudget <= 0 {
 		return nil
 	}
-	return &spillGovernor{
+	g := &spillGovernor{
 		dir:    opts.SpillDir,
 		budget: opts.SpillBudget,
-		// A frontier entry retains one immutable Config: two slice headers
+		scope:  opts.Obs,
+	}
+	if stride > 0 {
+		// A packed entry is its id plus stride words of arena.
+		g.entrySize = 8*int64(stride) + 8
+	} else {
+		// A legacy entry retains one immutable Config: two slice headers
 		// plus per-process state and per-register values. The constants are
 		// a deliberate overestimate — the budget is a brake, not an
 		// accounting system.
-		entrySize: 96 + 48*int64(root.NumProcesses()+root.NumRegisters()),
-		scope:     opts.Obs,
+		g.entrySize = 96 + 48*int64(root.NumProcesses()+root.NumRegisters())
 	}
+	return g
 }
 
 // maybeSpill flushes the accumulated in-memory tail once it exceeds the
@@ -164,10 +259,30 @@ func newSpillGovernor(opts *Options, root model.Config) *spillGovernor {
 // — spilling is a memory optimisation, never worth failing a proof over —
 // and is reported as a trace event.
 func (g *spillGovernor) maybeSpill(f *frontier) {
-	if g.disabled || f.memBytes <= g.budget || len(f.mem) == 0 {
+	if g.disabled || f.memBytes <= g.budget {
 		return
 	}
-	path, bytes, err := writeSpillChunk(g.dir, f.mem)
+	var (
+		path    string
+		bytes   int64
+		err     error
+		entries int
+	)
+	if f.stride > 0 {
+		if entries = len(f.ids); entries == 0 {
+			return
+		}
+		path, bytes, err = writeSpillChunk(g.dir, f.ids, f.words)
+	} else {
+		if entries = len(f.mem); entries == 0 {
+			return
+		}
+		ids := make([]int32, len(f.mem))
+		for i := range f.mem {
+			ids[i] = f.mem[i].id
+		}
+		path, bytes, err = writeSpillChunk(g.dir, ids, nil)
+	}
 	if err != nil {
 		g.disabled = true
 		g.scope.Event("spill_error", slog.String("err", err.Error()))
@@ -176,20 +291,23 @@ func (g *spillGovernor) maybeSpill(f *frontier) {
 	g.scope.Counter("spill_chunks").Add(1)
 	g.scope.Counter("spill_bytes").Add(bytes)
 	g.scope.Event("spill_chunk",
-		slog.Int("entries", len(f.mem)),
+		slog.Int("entries", entries),
 		slog.Int64("bytes", bytes),
 	)
-	f.spilled = append(f.spilled, spillChunk{path: path, count: len(f.mem)})
+	f.spilled = append(f.spilled, spillChunk{path: path, count: entries})
 	clear(f.mem)
 	f.mem = f.mem[:0]
+	f.ids = f.ids[:0]
+	f.words = f.words[:0]
 	f.memBytes = 0
 }
 
-// writeSpillChunk writes the entries' ids as a count-prefixed uvarint list
+// writeSpillChunk writes a count-prefixed uvarint id list, followed — when
+// words is non-nil — by the ids' packed records as little-endian uint64s,
 // to a fresh file in dir. Spill files are transient scratch consumed by the
 // same process — they never survive a crash, so unlike checkpoint segments
 // they carry no checksums or fsync.
-func writeSpillChunk(dir string, entries []levelEntry) (string, int64, error) {
+func writeSpillChunk(dir string, ids []int32, words []uint64) (string, int64, error) {
 	f, err := os.CreateTemp(dir, "frontier-*.spill")
 	if err != nil {
 		return "", 0, err
@@ -203,9 +321,14 @@ func writeSpillChunk(dir string, entries []levelEntry) (string, int64, error) {
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	werr := put(uint64(len(entries)))
-	for i := 0; werr == nil && i < len(entries); i++ {
-		werr = put(uint64(entries[i].id))
+	werr := put(uint64(len(ids)))
+	for i := 0; werr == nil && i < len(ids); i++ {
+		werr = put(uint64(ids[i]))
+	}
+	for i := 0; werr == nil && i < len(words); i++ {
+		binary.LittleEndian.PutUint64(buf[:8], words[i])
+		written += 8
+		_, werr = bw.Write(buf[:8])
 	}
 	if werr == nil {
 		werr = bw.Flush()
@@ -220,25 +343,41 @@ func writeSpillChunk(dir string, entries []levelEntry) (string, int64, error) {
 	return f.Name(), written, nil
 }
 
-// readSpillChunk reads an id-list file back.
-func readSpillChunk(path string) ([]int32, error) {
+// readSpillChunk reads a chunk file back into the provided (reusable)
+// slices: the id list, then — when stride > 0 — count*stride packed words.
+func readSpillChunk(path string, stride int, ids []int32, words []uint64) ([]int32, []uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("explore: spill chunk %s: %w", path, err)
+		return nil, nil, fmt.Errorf("explore: spill chunk %s: %w", path, err)
 	}
-	ids := make([]int32, 0, count)
 	for i := uint64(0); i < count; i++ {
 		v, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("explore: spill chunk %s entry %d: %w", path, i, err)
+			return nil, nil, fmt.Errorf("explore: spill chunk %s entry %d: %w", path, i, err)
 		}
 		ids = append(ids, int32(v))
 	}
-	return ids, nil
+	if stride > 0 {
+		var wbuf [8]byte
+		for i := uint64(0); i < count*uint64(stride); i++ {
+			if _, err := io.ReadFull(br, wbuf[:]); err != nil {
+				return nil, nil, fmt.Errorf("explore: spill chunk %s word %d: %w", path, i, err)
+			}
+			words = append(words, binary.LittleEndian.Uint64(wbuf[:]))
+		}
+	}
+	return ids, words, nil
+}
+
+// readSpillChunkIDs reads only the id-list prefix of a chunk file (both
+// formats share it).
+func readSpillChunkIDs(path string) ([]int32, error) {
+	ids, _, err := readSpillChunk(path, 0, nil, nil)
+	return ids, err
 }

@@ -62,8 +62,19 @@ func (b *KeyBuilder) WriteString(s string) (int, error) {
 	return len(s), nil
 }
 
-// WriteInt appends the decimal representation of i.
+// WriteInt appends the decimal representation of i. One- and two-digit
+// non-negatives — the overwhelming majority of key fields (pids, rounds,
+// ballot counters) — are formatted inline; everything else goes through
+// strconv.
 func (b *KeyBuilder) WriteInt(i int) {
+	if uint(i) < 10 {
+		b.buf = append(b.buf, byte('0'+i))
+		return
+	}
+	if uint(i) < 100 {
+		b.buf = append(b.buf, byte('0'+i/10), byte('0'+i%10))
+		return
+	}
 	b.buf = strconv.AppendInt(b.buf, int64(i), 10)
 }
 

@@ -198,12 +198,14 @@ func (c Config) Registers() []Value {
 }
 
 // Decided reports whether process pid has decided, and if so which value.
+// The kind is peeked first (see OpPeeker) so undecided write-poised states
+// never pay Pending's argument encoding — this runs once per process per
+// visited configuration in the valency oracle.
 func (c Config) Decided(pid int) (Value, bool) {
-	op := c.states[pid].Pending()
-	if op.Kind == OpDecide {
-		return op.Arg, true
+	if k, _ := PeekOp(c.states[pid]); k != OpDecide {
+		return Bottom, false
 	}
-	return Bottom, false
+	return c.states[pid].Pending().Arg, true
 }
 
 // DecidedValues returns the set of values decided by any process in c.
@@ -220,18 +222,18 @@ func (c Config) DecidedValues() map[Value]bool {
 // Covers reports whether process pid covers register r in c, i.e. is poised
 // to perform a write to r (Definition 2 in the paper).
 func (c Config) Covers(pid, r int) bool {
-	op := c.states[pid].Pending()
-	return op.Kind == OpWrite && op.Reg == r
+	k, reg := PeekOp(c.states[pid])
+	return k == OpWrite && reg == r
 }
 
 // CoveredRegister returns the register process pid is poised to write, or
 // (-1, false) if pid's pending operation is not a write.
 func (c Config) CoveredRegister(pid int) (int, bool) {
-	op := c.states[pid].Pending()
-	if op.Kind != OpWrite {
+	k, reg := PeekOp(c.states[pid])
+	if k != OpWrite {
 		return -1, false
 	}
-	return op.Reg, true
+	return reg, true
 }
 
 // CoverSet returns, for the given set of processes, the set of registers

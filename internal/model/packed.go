@@ -1,0 +1,414 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the bit-packed fixed-width configuration encoding
+// behind the exploration engine's arena frontiers (DESIGN.md S22).
+//
+// A PackedCodec interns every distinct process state and register value it
+// sees into per-protocol dictionaries and represents a Config as a short
+// []uint64 of fixed-width dictionary indices: one state field per process,
+// one value field per register. Packing is dictionary-building (the codec
+// grows as exploration discovers states); unpacking is two array reads per
+// field. Because states are interned by their exact State.Key bytes, the
+// round trip Unpack(Pack(c)) yields a configuration whose canonical key is
+// byte-identical to c's — TestPackedCodecRoundTripsCanonicalKey holds that
+// contract for every protocol in the test zoo.
+//
+// Dictionary indices are assigned in discovery order, so packed words are
+// meaningful only relative to the codec instance that produced them: they
+// are an in-memory (and same-process spill-file) representation, never a
+// durable one. Durable identities — checkpoint fingerprints, memo keys —
+// remain hashes of canonical key bytes.
+
+var (
+	// ErrPackedCapacity reports an intern dictionary that outgrew its
+	// field width. The default widths fit tens of millions of distinct
+	// states — far beyond any in-RAM search — so hitting this means the
+	// configuration cap was raised into external-memory territory.
+	ErrPackedCapacity = errors.New("model: packed codec dictionary full")
+	// ErrPackedRange reports packed words that do not decode under the
+	// codec: wrong word count, an index beyond the dictionary, or set
+	// padding bits. It is the typed "corrupt input" answer the fuzzers
+	// demand in place of a panic.
+	ErrPackedRange = errors.New("model: packed words out of range")
+)
+
+// Default field widths. A state field must hold an index for every
+// distinct process state discovered during one search, a value field one
+// for every distinct register value; both are generous overestimates
+// (distinct states ≤ processes × configurations) while keeping n ≤ 5
+// configurations inside four 64-bit words.
+const (
+	defaultStateBits = 25
+	defaultRegBits   = 22
+)
+
+// Intern-table geometry. Values live in fixed-size chunks behind atomic
+// pointers so concurrent readers never observe a reallocating slice;
+// key→index maps are sharded to keep worker contention off a single lock.
+const (
+	internShards    = 32
+	internChunkBits = 12
+	internChunkSize = 1 << internChunkBits
+)
+
+// internShard is one stripe of the key→index map.
+type internShard struct {
+	mu  sync.RWMutex
+	idx map[string]uint32
+	_   [24]byte // keep neighbouring locks off one cache line
+}
+
+// internTable is a concurrent append-only dictionary: distinct keys get
+// dense indices in discovery order, and index→value lookups are two array
+// reads with no lock. limit is the field-width capacity.
+type internTable[T any] struct {
+	limit  uint32
+	next   atomic.Uint32
+	chunks []atomic.Pointer[[internChunkSize]T]
+	shards [internShards]internShard
+}
+
+func newInternTable[T any](bits int) *internTable[T] {
+	limit := uint32(1) << bits
+	t := &internTable[T]{
+		limit:  limit,
+		chunks: make([]atomic.Pointer[[internChunkSize]T], (int(limit)+internChunkSize-1)/internChunkSize),
+	}
+	for i := range t.shards {
+		t.shards[i].idx = make(map[string]uint32)
+	}
+	return t
+}
+
+// shardIndex hashes a key to its map stripe (FNV-1a over the key bytes).
+func shardIndex[K ~string | ~[]byte](key K) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h % internShards
+}
+
+// store places v at index id. Chunks are published with a CAS so two
+// shards allocating the same chunk concurrently agree on one.
+func (t *internTable[T]) store(id uint32, v T) {
+	ci := int(id >> internChunkBits)
+	ch := t.chunks[ci].Load()
+	if ch == nil {
+		fresh := new([internChunkSize]T)
+		if t.chunks[ci].CompareAndSwap(nil, fresh) {
+			ch = fresh
+		} else {
+			ch = t.chunks[ci].Load()
+		}
+	}
+	ch[id&(internChunkSize-1)] = v
+}
+
+// at returns the value at index id. ok is false for indices never
+// interned — the typed-error path of Unpack.
+func (t *internTable[T]) at(id uint32) (T, bool) {
+	var zero T
+	if id >= t.next.Load() {
+		return zero, false
+	}
+	ch := t.chunks[id>>internChunkBits].Load()
+	if ch == nil {
+		return zero, false
+	}
+	return ch[id&(internChunkSize-1)], true
+}
+
+// internBytes returns the index of key, interning v under a copy of key
+// on first sight. The []byte key form lets callers probe with reused
+// scratch; the map lookup compiles without a string allocation.
+func (t *internTable[T]) internBytes(key []byte, v T) (uint32, error) {
+	sh := &t.shards[shardIndex(key)]
+	sh.mu.RLock()
+	id, ok := sh.idx[string(key)]
+	sh.mu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.idx[string(key)]; ok {
+		return id, nil
+	}
+	id = t.next.Add(1) - 1
+	if id >= t.limit {
+		return 0, ErrPackedCapacity
+	}
+	t.store(id, v)
+	sh.idx[string(key)] = id
+	return id, nil
+}
+
+// internString is internBytes for callers that already hold a string key.
+func (t *internTable[T]) internString(key string, v T) (uint32, error) {
+	sh := &t.shards[shardIndex(key)]
+	sh.mu.RLock()
+	id, ok := sh.idx[key]
+	sh.mu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.idx[key]; ok {
+		return id, nil
+	}
+	id = t.next.Add(1) - 1
+	if id >= t.limit {
+		return 0, ErrPackedCapacity
+	}
+	t.store(id, v)
+	sh.idx[key] = id
+	return id, nil
+}
+
+// PackedCodec packs configurations of one protocol instance into
+// fixed-width []uint64 records. Safe for concurrent use: the dictionaries
+// are sharded and the pack/unpack methods touch only caller-owned words.
+type PackedCodec struct {
+	procs     int
+	regs      int
+	stateBits int
+	regBits   int
+	words     int
+
+	states *internTable[State]
+	vals   *internTable[Value]
+	kbPool sync.Pool
+}
+
+// NewPackedCodec computes the packed layout for configurations shaped like
+// template (its process and register counts) with the default field widths.
+func NewPackedCodec(template Config) *PackedCodec {
+	return NewPackedCodecWidths(template, defaultStateBits, defaultRegBits)
+}
+
+// NewPackedCodecWidths is NewPackedCodec with explicit field widths (used
+// by tests to exercise capacity overflow with tiny dictionaries).
+func NewPackedCodecWidths(template Config, stateBits, regBits int) *PackedCodec {
+	if stateBits < 1 || stateBits > 32 || regBits < 1 || regBits > 32 {
+		panic(fmt.Sprintf("model: packed field widths %d/%d outside [1,32]", stateBits, regBits))
+	}
+	pc := &PackedCodec{
+		procs:     template.NumProcesses(),
+		regs:      template.NumRegisters(),
+		stateBits: stateBits,
+		regBits:   regBits,
+		states:    newInternTable[State](stateBits),
+		vals:      newInternTable[Value](regBits),
+	}
+	pc.words = (pc.totalBits() + 63) / 64
+	pc.kbPool.New = func() any { return &KeyBuilder{} }
+	return pc
+}
+
+func (pc *PackedCodec) totalBits() int { return pc.procs*pc.stateBits + pc.regs*pc.regBits }
+
+// Words returns the number of uint64 words one packed configuration
+// occupies — the stride of every arena built over this codec.
+func (pc *PackedCodec) Words() int { return pc.words }
+
+// NumProcesses returns the process count of the layout.
+func (pc *PackedCodec) NumProcesses() int { return pc.procs }
+
+// NumRegisters returns the register count of the layout.
+func (pc *PackedCodec) NumRegisters() int { return pc.regs }
+
+// StateBits returns the width of one per-process state field.
+func (pc *PackedCodec) StateBits() int { return pc.stateBits }
+
+// RegBits returns the width of one per-register value field.
+func (pc *PackedCodec) RegBits() int { return pc.regBits }
+
+func (pc *PackedCodec) stateOff(pid int) int { return pid * pc.stateBits }
+func (pc *PackedCodec) regOff(r int) int     { return pc.procs*pc.stateBits + r*pc.regBits }
+
+// getField extracts the bits-wide field at bit offset off.
+func getField(words []uint64, off, bits int) uint64 {
+	w, b := off>>6, uint(off&63)
+	v := words[w] >> b
+	if b+uint(bits) > 64 {
+		v |= words[w+1] << (64 - b)
+	}
+	return v & (1<<uint(bits) - 1)
+}
+
+// setField stores val into the bits-wide field at bit offset off.
+func setField(words []uint64, off, bits int, val uint64) {
+	mask := uint64(1)<<uint(bits) - 1
+	w, b := off>>6, uint(off&63)
+	words[w] = words[w]&^(mask<<b) | val<<b
+	if b+uint(bits) > 64 {
+		rem := uint(bits) - (64 - b)
+		hiMask := uint64(1)<<rem - 1
+		words[w+1] = words[w+1]&^hiMask | val>>(64-b)
+	}
+}
+
+// InternState returns the dictionary index of s, interning it by its exact
+// key bytes on first sight. kb is reusable scratch for streaming the key
+// (nil takes one from an internal pool); the exploration workers pass
+// their own to keep the hot path allocation-free.
+func (pc *PackedCodec) InternState(kb *KeyBuilder, s State) (uint32, error) {
+	if kb == nil {
+		kb = pc.kbPool.Get().(*KeyBuilder)
+		defer pc.kbPool.Put(kb)
+	}
+	kb.Reset()
+	if sw, ok := s.(StateKeyWriter); ok {
+		sw.KeyTo(kb)
+	} else {
+		_, _ = kb.WriteString(s.Key())
+	}
+	return pc.states.internBytes(kb.Bytes(), s)
+}
+
+// InternValue returns the dictionary index of v.
+func (pc *PackedCodec) InternValue(v Value) (uint32, error) {
+	return pc.vals.internString(string(v), v)
+}
+
+// SetState overwrites the state field of pid in words with index id (from
+// InternState). words must be a Words()-long record.
+func (pc *PackedCodec) SetState(words []uint64, pid int, id uint32) {
+	setField(words, pc.stateOff(pid), pc.stateBits, uint64(id))
+}
+
+// SetValue overwrites the value field of register r in words with index id
+// (from InternValue).
+func (pc *PackedCodec) SetValue(words []uint64, r int, id uint32) {
+	setField(words, pc.regOff(r), pc.regBits, uint64(id))
+}
+
+// PackTo packs c into dst, which must be a Words()-long record; dst is
+// overwritten entirely. Errors only when a dictionary outgrows its field
+// width (ErrPackedCapacity) or c's shape disagrees with the layout.
+func (pc *PackedCodec) PackTo(dst []uint64, c Config) error {
+	if len(c.states) != pc.procs || len(c.regs) != pc.regs {
+		return fmt.Errorf("%w: config %d/%d does not fit layout %d/%d",
+			ErrPackedRange, len(c.states), len(c.regs), pc.procs, pc.regs)
+	}
+	if len(dst) != pc.words {
+		return fmt.Errorf("%w: destination %d words, layout needs %d", ErrPackedRange, len(dst), pc.words)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	kb := pc.kbPool.Get().(*KeyBuilder)
+	defer pc.kbPool.Put(kb)
+	for pid, s := range c.states {
+		id, err := pc.InternState(kb, s)
+		if err != nil {
+			return err
+		}
+		setField(dst, pc.stateOff(pid), pc.stateBits, uint64(id))
+	}
+	for r, v := range c.regs {
+		id, err := pc.vals.internString(string(v), v)
+		if err != nil {
+			return err
+		}
+		setField(dst, pc.regOff(r), pc.regBits, uint64(id))
+	}
+	return nil
+}
+
+// Pack packs c into a fresh record.
+func (pc *PackedCodec) Pack(c Config) ([]uint64, error) {
+	dst := make([]uint64, pc.words)
+	if err := pc.PackTo(dst, c); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// UnpackInto decodes words into the provided backing slices (each at
+// least layout-sized) and returns a Config aliasing them. The typed error
+// is ErrPackedRange for any record this codec never produced: wrong word
+// count, an index beyond the dictionaries, or set padding bits — never a
+// panic, whatever the words (FuzzPackedCodecRoundTrip).
+func (pc *PackedCodec) UnpackInto(words []uint64, states []State, regs []Value) (Config, error) {
+	if len(words) != pc.words {
+		return Config{}, fmt.Errorf("%w: %d words, layout needs %d", ErrPackedRange, len(words), pc.words)
+	}
+	if pad := uint(pc.totalBits() & 63); pad != 0 && words[pc.words-1]>>pad != 0 {
+		return Config{}, fmt.Errorf("%w: padding bits set", ErrPackedRange)
+	}
+	if len(states) < pc.procs || len(regs) < pc.regs {
+		return Config{}, fmt.Errorf("%w: backing %d/%d below layout %d/%d",
+			ErrPackedRange, len(states), len(regs), pc.procs, pc.regs)
+	}
+	states = states[:pc.procs]
+	regs = regs[:pc.regs]
+	for pid := 0; pid < pc.procs; pid++ {
+		id := getField(words, pc.stateOff(pid), pc.stateBits)
+		s, ok := pc.states.at(uint32(id))
+		if !ok {
+			return Config{}, fmt.Errorf("%w: state index %d not interned", ErrPackedRange, id)
+		}
+		states[pid] = s
+	}
+	for r := 0; r < pc.regs; r++ {
+		id := getField(words, pc.regOff(r), pc.regBits)
+		v, ok := pc.vals.at(uint32(id))
+		if !ok {
+			return Config{}, fmt.Errorf("%w: value index %d not interned", ErrPackedRange, id)
+		}
+		regs[r] = v
+	}
+	return Config{states: states, regs: regs}, nil
+}
+
+// Unpack decodes words into a freshly allocated Config.
+func (pc *PackedCodec) Unpack(words []uint64) (Config, error) {
+	return pc.UnpackInto(words, make([]State, pc.procs), make([]Value, pc.regs))
+}
+
+// Move packing: the exploration engine retains one move per visited
+// configuration forever (the witness forest), so the move is packed into
+// 32 bits — bit 0 flags a coin flip, bit 1 its outcome, the rest the pid.
+// Only the binary outcomes of the OpCoin contract pack; anything else is a
+// typed error so corrupt checkpoints fail loudly.
+
+// PackMove encodes m into 32 bits.
+func PackMove(m Move) (uint32, error) {
+	if m.Pid < 0 || m.Pid >= 1<<30 {
+		return 0, fmt.Errorf("%w: move pid %d", ErrPackedRange, m.Pid)
+	}
+	u := uint32(m.Pid) << 2
+	switch m.Coin {
+	case Bottom:
+	case "0":
+		u |= 1
+	case "1":
+		u |= 3
+	default:
+		return 0, fmt.Errorf("%w: move coin %q is not a binary outcome", ErrPackedRange, string(m.Coin))
+	}
+	return u, nil
+}
+
+// UnpackMove decodes a PackMove encoding.
+func UnpackMove(u uint32) Move {
+	m := Move{Pid: int(u >> 2)}
+	if u&1 != 0 {
+		if u&2 != 0 {
+			m.Coin = "1"
+		} else {
+			m.Coin = "0"
+		}
+	}
+	return m
+}

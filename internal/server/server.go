@@ -20,6 +20,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/ledger"
 	"repro/internal/obs"
@@ -633,11 +634,12 @@ func (s *Server) runJob(ctx context.Context, j *job) error {
 	if err != nil {
 		return err
 	}
-	meta := checkpoint.Meta{Protocol: spec.Protocol, N: spec.N, MaxConfigs: opts.MaxConfigs}
+	meta := checkpoint.Meta{Protocol: spec.Protocol, N: spec.N, MaxConfigs: opts.MaxConfigs, FPVersion: explore.FingerprintVersion}
 	var engine *adversary.Engine
 	snap, err := store.Latest()
 	switch {
-	case err == nil && snap.Meta.Protocol == spec.Protocol && snap.Meta.N == spec.N && snap.Meta.MaxConfigs == opts.MaxConfigs:
+	case err == nil && snap.Meta.Protocol == spec.Protocol && snap.Meta.N == spec.N &&
+		snap.Meta.MaxConfigs == opts.MaxConfigs && snap.Meta.FPVersion == explore.FingerprintVersion:
 		engine, err = adversary.ResumeEngine(opts, snap)
 		if err != nil {
 			return err

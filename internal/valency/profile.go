@@ -67,7 +67,9 @@ func (o *Oracle) Profile(ctx context.Context, name string, c model.Config, p []i
 	statsBefore := o.stats
 	var kept []entry
 	res, err := explore.Reach(ctx, c, p, o.opts, func(v explore.Visit) bool {
-		kept = append(kept, entry{cfg: v.Config, fp: o.opts.Fingerprint(v.Config)})
+		// Clone: v.Config is arena-backed and only valid during the
+		// callback; the profile keeps the whole space for pass 2.
+		kept = append(kept, entry{cfg: v.Config.Clone(), fp: o.opts.Fingerprint(v.Config)})
 		return true
 	})
 	if err != nil {

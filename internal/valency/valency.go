@@ -103,6 +103,11 @@ type Oracle struct {
 	opts  explore.Options
 	memo  *Memo
 	stats Stats
+	// fper is the oracle's reusable fingerprint scratch: memo keys are
+	// computed once per query on the oracle's own goroutine, so holding one
+	// hasher beats a pool round-trip per key (TestQueryKeyAllocs pins the
+	// allocation bound).
+	fper *explore.Fingerprinter
 	// metrics are the oracle's live counters, resolved once at
 	// construction from opts.Obs; with observability disabled every
 	// pointer is nil and each Add is a single nil-check (per query, never
@@ -198,7 +203,7 @@ func New(opts explore.Options) *Oracle {
 // NewWithMemo returns an oracle sharing the given memo table. All oracles
 // sharing a memo must use identical exploration options.
 func NewWithMemo(opts explore.Options, memo *Memo) *Oracle {
-	return &Oracle{opts: opts, memo: memo, metrics: newOracleMetrics(opts.Obs)}
+	return &Oracle{opts: opts, memo: memo, fper: opts.NewFingerprinter(), metrics: newOracleMetrics(opts.Obs)}
 }
 
 // Stats returns a copy of the oracle's work counters.
@@ -216,7 +221,7 @@ func (o *Oracle) queryKey(c model.Config, p []int) (queryKey, error) {
 		}
 		mask |= 1 << uint(pid)
 	}
-	return queryKey{fp: o.opts.Fingerprint(c), pids: mask}, nil
+	return queryKey{fp: o.fper.Fingerprint(c), pids: mask}, nil
 }
 
 func newVerdict() *Verdict {
@@ -285,8 +290,16 @@ func (o *Oracle) exploreDecidable(ctx context.Context, key queryKey, c model.Con
 			}
 		}
 	}
+	numProcs := c.NumProcesses()
 	res, err := explore.Reach(ctx, c, p, opts, func(v explore.Visit) bool {
-		for val := range v.Config.DecidedValues() {
+		// Per-pid Decided probes instead of DecidedValues(): the latter
+		// builds a map per visited configuration, which dominated the
+		// query's allocations.
+		for pid := 0; pid < numProcs; pid++ {
+			val, ok := v.Config.Decided(pid)
+			if !ok {
+				continue
+			}
 			if !verdict.Decidable[val] {
 				verdict.Decidable[val] = true
 				witnessIDs[val] = v.ID
@@ -481,7 +494,7 @@ func (o *Oracle) SoloDeciding(ctx context.Context, c model.Config, pid int) (mod
 	}
 	o.stats.SoloQueries++
 	o.metrics.soloQueries.Add(1)
-	key := soloKey{fp: o.opts.Fingerprint(c), pid: pid}
+	key := soloKey{fp: o.fper.Fingerprint(c), pid: pid}
 	if e, ok := o.memo.solo[key]; ok {
 		o.stats.SoloHits++
 		o.metrics.soloHits.Add(1)
