@@ -8,13 +8,15 @@
 // Usage:
 //
 //	benchreport [-out BENCH_explore.json] [-check] [-baseline old.json]
-//	            [-debug-addr host:port] [-trace-out trace.jsonl]
+//	            [-debug-addr host:port] [-trace-out trace.jsonl] [-record-every 250ms]
 //	            [-checkpoint-dir dir] [-checkpoint-every 5s] [-resume] [-spill-budget bytes]
 //
 // Every run records the final observability snapshot (memo hit rates, peak
-// frontier, dedup hits) in the report's "metrics" object, so the perf
-// trajectory tracks cache behaviour alongside configs/sec; -debug-addr and
-// -trace-out additionally expose the run live.
+// frontier, dedup hits) in the report's "metrics" object and the flight
+// recorder's time-series ring (sampled at -record-every across every row,
+// ticked at each BFS level boundary) in "timeseries", so the perf
+// trajectory tracks cache behaviour over time alongside configs/sec;
+// -debug-addr and -trace-out additionally expose the run live.
 //
 // The suite always ends with a checkpointed repeat of the Theorem 1 n=4
 // row and embeds its snapshot counters plus the overhead fraction versus
@@ -128,6 +130,11 @@ type Report struct {
 	// hits, lemma 4 rounds — the cache-behaviour half of the perf
 	// trajectory.
 	Metrics map[string]any `json:"metrics"`
+	// Timeseries is the flight recorder's ring at the end of the suite: the
+	// per-level trajectory of the scalar metrics (frontier, fpSet load,
+	// memo hits, arena occupancy) across every row, sampled no denser than
+	// -record-every.
+	Timeseries obs.TimeSeries `json:"timeseries"`
 }
 
 func diskOpts() explore.Options {
@@ -330,6 +337,7 @@ func run() (int, error) {
 	baseline := flag.String("baseline", "", "previous BENCH_explore.json to compare against; exit non-zero if any shared reach row regresses >20% in configs/sec")
 	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
 	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
+	recordEvery := flag.Duration("record-every", 250*time.Millisecond, "flight-recorder sampling interval for the report's timeseries (negative = off)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for the checkpointed n=4 row's snapshots (empty = temp dir, deleted on exit)")
 	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "minimum interval between snapshots in the checkpointed row")
 	resume := flag.Bool("resume", false, "resume the checkpointed n=4 row from its newest snapshot in -checkpoint-dir")
@@ -339,17 +347,25 @@ func run() (int, error) {
 		return 1, fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 
-	// The scope observes the end-to-end Theorem 1 rows (the
-	// microbenchmark rows stay unobserved so their allocs/config numbers
-	// remain comparable across reports); its final snapshot is embedded
-	// in the report whether or not the live endpoints were requested.
-	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr})
+	// The scope observes every row, microbenchmarks included: the suite's
+	// allocs/config and configs/sec numbers are measured with the flight
+	// recorder fully enabled, so the -check gates hold for the instrumented
+	// engine — the only configuration anyone runs in production. Its final
+	// snapshot and time-series ring are embedded in the report whether or
+	// not the live endpoints were requested.
+	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr, RecordEvery: *recordEvery})
 	if err != nil {
 		return 1, err
 	}
 	if scope == nil {
 		scope = obs.NewScope(nil)
 		stopObs = func() error { return nil }
+	}
+	if *recordEvery >= 0 && scope.Recorder() == nil {
+		// No live endpoint requested, so obs.Start handed back a bare scope;
+		// the report still wants the trajectory. Level-boundary ticks feed
+		// the ring — no background goroutine needed for a batch run.
+		scope.SetRecorder(obs.NewRecorder(scope.Registry(), *recordEvery, 2048))
 	}
 	defer func() {
 		if err := stopObs(); err != nil {
@@ -381,6 +397,7 @@ func run() (int, error) {
 		opts := diskOpts()
 		opts.MaxConfigs = diskCap
 		opts.Workers = workers
+		opts.Obs = scope
 		name := "diskrace_n3_seq"
 		if workers == 0 {
 			name = "diskrace_n3_par"
@@ -405,6 +422,7 @@ func run() (int, error) {
 		opts := diskOpts()
 		opts.MaxConfigs = diskCap
 		opts.Workers = 1
+		opts.Obs = scope
 		r, err := measureReach("diskrace_n4_seq", diskCfg4, []int{0, 1, 2, 3}, opts)
 		if err != nil {
 			return 1, err
@@ -424,7 +442,7 @@ func run() (int, error) {
 		if workers == 0 {
 			name = "flood_n3_par"
 		}
-		r, err := measureReach(name, floodCfg, []int{0, 1, 2}, explore.Options{Workers: workers})
+		r, err := measureReach(name, floodCfg, []int{0, 1, 2}, explore.Options{Workers: workers, Obs: scope})
 		if err != nil {
 			return 1, err
 		}
@@ -450,6 +468,7 @@ func run() (int, error) {
 	rep.Theorem1 = append(rep.Theorem1, ckptRow)
 	rep.Checkpoint = ckptStats
 	rep.Metrics = scope.Registry().Snapshot()
+	rep.Timeseries = scope.Recorder().Snapshot()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

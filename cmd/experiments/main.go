@@ -97,8 +97,9 @@ func engineFor(opts explore.Options, scope *obs.Scope, protocol string, n int, c
 
 func main() {
 	heavy := flag.Bool("heavy", false, "include slow rows (minutes)")
-	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
+	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars, /metrics, /timeseries and /progress (empty = off)")
 	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
+	recordEvery := flag.Duration("record-every", 0, "flight-recorder sampling interval for /timeseries (0 = 1s default, negative = off)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for per-row crash-safe snapshots (empty = off)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between snapshots")
 	resume := flag.Bool("resume", false, "resume each adversary row from its newest snapshot in -checkpoint-dir")
@@ -107,7 +108,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -checkpoint-dir")
 		os.Exit(1)
 	}
-	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr})
+	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr, RecordEvery: *recordEvery})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -72,8 +72,9 @@ func run() error {
 	ckptEvery := flag.Duration("checkpoint-every", 2*time.Second, "minimum interval between job snapshots")
 	batchSize := flag.Int("batch-size", 16, "witnesses per ledger Merkle batch")
 	batchWait := flag.Duration("batch-wait", 500*time.Millisecond, "max time a witness waits for a full batch")
-	debugAddr := flag.String("debug-addr", "", "observability endpoint (/debug/pprof, /progress, /healthz, /readyz; empty = off)")
-	traceOut := flag.String("trace-out", "", "server-level JSONL trace (empty = off, - = stderr)")
+	debugAddr := flag.String("debug-addr", "", "observability endpoint (/debug/pprof, /metrics, /timeseries, /progress, /healthz, /readyz; empty = off)")
+	traceOut := flag.String("trace-out", "", "server-level JSONL trace (empty = off, - = stderr); job spans are teed in, tagged by trace ID")
+	recordEvery := flag.Duration("record-every", 0, "flight-recorder sampling interval for /timeseries (0 = 1s default, negative = off)")
 	verifyLedger := flag.String("verify-ledger", "", "verify this ledger file and exit (no server)")
 	flag.Parse()
 
@@ -86,7 +87,7 @@ func run() error {
 		return nil
 	}
 
-	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr})
+	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr, RecordEvery: *recordEvery})
 	if err != nil {
 		return err
 	}

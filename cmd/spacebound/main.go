@@ -99,8 +99,9 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole construction (0 = none)")
 	figures := flag.Bool("figures", false, "emit the witness as Graphviz DOT (paper Figure 4 style)")
 	transcript := flag.Bool("transcript", false, "print the full step-by-step execution")
-	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars and /progress (empty = off)")
+	debugAddr := flag.String("debug-addr", "", "listen address for /debug/pprof, /debug/vars, /metrics, /timeseries and /progress (empty = off)")
 	traceOut := flag.String("trace-out", "", "JSONL trace output path (empty = off, - = stderr)")
+	recordEvery := flag.Duration("record-every", 0, "flight-recorder sampling interval for /timeseries (0 = 1s default, negative = off)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for crash-safe snapshots (empty = off)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between snapshots")
 	resume := flag.Bool("resume", false, "resume from the newest snapshot in -checkpoint-dir")
@@ -140,7 +141,7 @@ func run() error {
 		opts.MaxConfigs = *maxConfigs
 	}
 	opts.Workers = *workers
-	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr})
+	scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr, RecordEvery: *recordEvery})
 	if err != nil {
 		return err
 	}

@@ -38,8 +38,18 @@ type Coordinator struct {
 	// known save).
 	AfterSave func(*Snapshot)
 
+	// saveUs is the save-latency histogram, resolved once at construction
+	// (nil and no-op when the scope is).
+	saveUs *obs.Histogram
+
 	now func() time.Time
 }
+
+// SaveLatencyBoundsMicros are the fixed buckets of the checkpoint_save_us
+// histogram: an atomic snapshot write is dominated by fsyncs, so the range
+// runs from sub-millisecond page-cache writes to multi-second stalls that
+// would drag on the proof.
+var SaveLatencyBoundsMicros = []int64{500, 1000, 5000, 10000, 50000, 100000, 500000, 1000000, 5000000}
 
 // NewCoordinator returns a coordinator saving to store at most once per
 // `every` (every <= 0 means: on every opportunity, which only tests want).
@@ -47,11 +57,12 @@ type Coordinator struct {
 // (0 for a fresh run, the loaded snapshot's Seq on resume).
 func NewCoordinator(store *Store, every time.Duration, meta Meta, scope *obs.Scope) *Coordinator {
 	return &Coordinator{
-		store: store,
-		every: every,
-		scope: scope,
-		meta:  meta,
-		now:   time.Now,
+		store:  store,
+		every:  every,
+		scope:  scope,
+		meta:   meta,
+		saveUs: scope.Histogram("checkpoint_save_us", SaveLatencyBoundsMicros),
+		now:    time.Now,
 	}
 }
 
@@ -123,7 +134,9 @@ func (c *Coordinator) save(query func() *QueryData) {
 	if query != nil {
 		snap.Query = query()
 	}
+	saveStart := time.Now()
 	n, err := c.store.Save(snap)
+	c.saveUs.Observe(time.Since(saveStart).Microseconds())
 	if err != nil {
 		// Persistence degradation is silent by design (the proof keeps
 		// running), so it must be loud in the obs layer: a monotonic error

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -288,6 +289,7 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 		maxConfigs: maxConfigs,
 		visited:    mkSet(),
 		scratch:    newWorkerScratch(),
+		metrics:    newSearchMetrics(opts.Obs),
 	}
 	if !opts.legacyFrontier {
 		s.codec = model.NewPackedCodec(c)
@@ -352,10 +354,18 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 		// the worker count nor the spill layout.
 		err := func() error {
 			for bi := 0; bi < level.numBatches(); bi++ {
+				var reloadStart time.Time
+				isSpill := bi < len(level.spilled) && s.metrics.enabled()
+				if isSpill {
+					reloadStart = time.Now()
+				}
 				batch, err := level.batch(bi, res, c, &buf)
 				if err != nil {
 					res.Capped = true
 					return fmt.Errorf("reach frontier: %w (and %w)", err, ErrCapped)
+				}
+				if isSpill {
+					s.metrics.spillReloaded(time.Since(reloadStart))
 				}
 				chunks := s.expandLevel(batch)
 				if err := ctx.Err(); err != nil {
@@ -370,6 +380,7 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 					}
 					res.Steps += ch.dupSteps
 					levelDups += ch.dupSteps
+					s.metrics.chunkDeltas(ch)
 					for i := range ch.slots {
 						sl := &ch.slots[i]
 						res.Steps++
@@ -407,6 +418,7 @@ func Reach(ctx context.Context, c model.Config, p []int, opts Options, visit fun
 			res.Depth = int(depth) + 1
 		}
 		if opts.Obs != nil {
+			s.metrics.level(s, &next)
 			opts.Obs.ExploreLevel(obs.Level{
 				Depth:    int(depth) + 1,
 				Frontier: next.size(),

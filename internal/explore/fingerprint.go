@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Fingerprint is a 128-bit digest of a configuration's canonical key. The
@@ -101,7 +102,7 @@ func fingerprintOf(key string) Fingerprint {
 
 // mixWords digests a packed record (a []uint64 instance-local encoding)
 // with the same mixing rounds as mix128. It keys the raw-identity
-/// pre-filter in the explorer: packed records are exact encodings, so equal
+// / pre-filter in the explorer: packed records are exact encodings, so equal
 // words mean equal configurations, and a second, cheaper hash over the
 // words lets the hot path skip the canonical key stream for the (majority
 // of) transitions that recreate an already-seen record verbatim. The
@@ -155,7 +156,7 @@ func newHasher() *hasher {
 	return &hasher{}
 }
 
-/// fingerprint digests c's canonical key under opts. Preference order:
+// / fingerprint digests c's canonical key under opts. Preference order:
 // KeyTo (pure streaming), then KeyFn (string materialised, then hashed —
 // still correct, just slower), then Config.KeyTo.
 func (hs *hasher) fingerprint(opts *Options, c model.Config) Fingerprint {
@@ -323,6 +324,41 @@ func (s *fpSet) Add(fp Fingerprint) bool {
 // be momentarily stale while workers race Adds; the engine only uses it as
 // a soft overflow brake, never for exact accounting.
 func (s *fpSet) Len() int { return int(s.count.Load()) }
+
+// stats samples the set for the flight recorder: total fingerprints and
+// table slots (the load factor is their ratio), and — when h is non-nil —
+// up to maxPerShard occupied slots per shard observed into h as probe
+// displacements ((slot - home) & mask, the linear-probe walk length a
+// lookup for that fingerprint pays). Sampling is bounded so a level-edge
+// call costs O(shards × maxPerShard) whatever the set's size. Called at
+// level boundaries, when no worker holds a shard; the stripe locks are
+// still taken (when the set is a locking one) for exactness.
+func (s *fpSet) stats(maxPerShard int, h *obs.Histogram) (n, slots int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if s.locked {
+			sh.mu.Lock()
+		}
+		n += sh.n
+		slots += len(sh.tbl)
+		if h != nil && len(sh.tbl) > 0 {
+			mask := uint64(len(sh.tbl) - 1)
+			sampled := 0
+			for j := uint64(0); j <= mask && sampled < maxPerShard; j++ {
+				fp := sh.tbl[j]
+				if fp == (Fingerprint{}) {
+					continue
+				}
+				h.Observe(int64((j - fp[1]&mask) & mask))
+				sampled++
+			}
+		}
+		if s.locked {
+			sh.mu.Unlock()
+		}
+	}
+	return n, slots
+}
 
 // dump returns every fingerprint in the set, in unspecified order (the set
 // is unordered, so checkpoint files may differ between runs even when the

@@ -59,6 +59,13 @@ type chunk struct {
 	slab     model.ConfigSlab
 	dupSteps int
 	err      error
+	// Per-chunk instrumentation deltas, folded into per-level metrics by
+	// the coordinator after levelWG.Wait (so they need no atomics): rawHits
+	// counts transitions screened out by the rawSeen pre-filter (a subset
+	// of dupSteps), stepHits/stepMisses the stepper memo outcomes.
+	rawHits    int
+	stepHits   uint64
+	stepMisses uint64
 }
 
 // workerScratch is the per-goroutine reusable state: a moves buffer (legacy
@@ -102,6 +109,7 @@ type search struct {
 	// resumed search just rebuilds it) and never mixed with visited.
 	rawSeen *fpSet
 	scratch *workerScratch // coordinator's own scratch, for inline expansion
+	metrics searchMetrics  // flight-recorder instruments, resolved once per Reach
 
 	// codec is the packed-configuration dictionary shared by all workers;
 	// nil in the legacy reference mode. stride is codec.Words().
@@ -165,6 +173,8 @@ func (s *search) expandRange(ch *chunk, ws *workerScratch) {
 	ch.slab.Reset()
 	ch.dupSteps = 0
 	ch.err = nil
+	ch.rawHits = 0
+	ch.stepHits, ch.stepMisses = 0, 0
 	if s.codec != nil {
 		s.expandRangePacked(ch, ws)
 		return
@@ -209,6 +219,11 @@ func (s *search) expandRange(ch *chunk, ws *workerScratch) {
 // the visited set, the visit sequence or the counters.
 func (s *search) expandRangePacked(ch *chunk, ws *workerScratch) {
 	ws.initPacked(s.codec)
+	h0, m0 := ws.stepper.Stats()
+	defer func() {
+		h, m := ws.stepper.Stats()
+		ch.stepHits, ch.stepMisses = h-h0, m-m0
+	}()
 	steps := 0
 	for i := ch.lo; i < ch.hi; i++ {
 		ent := &s.level[i]
@@ -237,6 +252,7 @@ func (s *search) expandRangePacked(ch *chunk, ws *workerScratch) {
 					return
 				}
 				if !s.rawSeen.Add(mixWords(ws.childWords)) {
+					ch.rawHits++
 					ch.dupSteps++
 					continue
 				}

@@ -36,6 +36,33 @@ type Batcher struct {
 	closed  bool
 	lastErr error
 	wg      sync.WaitGroup
+
+	metrics batcherMetrics
+}
+
+// batcherMetrics are the batcher's instruments, resolved eagerly at
+// NewBatcher so every series exists in the owning scope's registry — and
+// hence in /debug/vars and /metrics — from process start, not first flush
+// (zero-valued gauges and empty histograms are data: "the queue has been
+// empty all along"). Nil scope → all-nil, no-op instruments.
+type batcherMetrics struct {
+	queueDepth  *obs.Gauge
+	queueLat    *obs.Histogram
+	flushLat    *obs.Histogram
+	flushErrors *obs.Counter
+	batches     *obs.Counter
+	items       *obs.Counter
+}
+
+func newBatcherMetrics(s *obs.Scope) batcherMetrics {
+	return batcherMetrics{
+		queueDepth:  s.Gauge("ledger_queue_depth"),
+		queueLat:    s.Histogram("ledger_queue_latency_us", LatencyBoundsMicros),
+		flushLat:    s.Histogram("ledger_flush_latency_us", LatencyBoundsMicros),
+		flushErrors: s.Counter("ledger_flush_errors"),
+		batches:     s.Counter("ledger_batches"),
+		items:       s.Counter("ledger_items"),
+	}
 }
 
 // queued is one item plus its enqueue instant (for the queue-latency
@@ -79,6 +106,7 @@ func NewBatcher(l *Ledger, opts BatcherOptions) *Batcher {
 		scope:    opts.Scope,
 		faults:   opts.Faults,
 		onCommit: opts.OnCommit,
+		metrics:  newBatcherMetrics(opts.Scope),
 	}
 }
 
@@ -91,7 +119,7 @@ func (b *Batcher) Add(item Item) error {
 		return fmt.Errorf("ledger: batcher closed")
 	}
 	b.pending = append(b.pending, queued{item: item, enq: time.Now()})
-	b.scope.Gauge("ledger_queue_depth").Set(int64(len(b.pending)))
+	b.metrics.queueDepth.Set(int64(len(b.pending)))
 	if len(b.pending) >= b.size {
 		b.flushLocked()
 		return nil
@@ -143,7 +171,7 @@ func (b *Batcher) flushLocked() {
 		// Keep the items queued; the next Add/timer/Flush retries. Re-arm
 		// the timer so a quiet queue still retries.
 		b.lastErr = err
-		b.scope.Counter("ledger_flush_errors").Add(1)
+		b.metrics.flushErrors.Add(1)
 		b.scope.Event("ledger_flush_error",
 			slog.Int("items", len(items)),
 			slog.String("err", err.Error()))
@@ -153,14 +181,13 @@ func (b *Batcher) flushLocked() {
 		return
 	}
 	now := time.Now()
-	qh := b.scope.Histogram("ledger_queue_latency_us", LatencyBoundsMicros)
 	for _, q := range b.pending {
-		qh.Observe(now.Sub(q.enq).Microseconds())
+		b.metrics.queueLat.Observe(now.Sub(q.enq).Microseconds())
 	}
-	b.scope.Histogram("ledger_flush_latency_us", LatencyBoundsMicros).Observe(now.Sub(start).Microseconds())
-	b.scope.Counter("ledger_batches").Add(1)
-	b.scope.Counter("ledger_items").Add(int64(len(items)))
-	b.scope.Gauge("ledger_queue_depth").Set(0)
+	b.metrics.flushLat.Observe(now.Sub(start).Microseconds())
+	b.metrics.batches.Add(1)
+	b.metrics.items.Add(int64(len(items)))
+	b.metrics.queueDepth.Set(0)
 	b.lastErr = nil
 	b.pending = b.pending[:0]
 	b.scope.Event("ledger_batch_committed",

@@ -138,3 +138,35 @@ func TestBatcherCloseRejectsLateAdds(t *testing.T) {
 		t.Fatal("Add after Close accepted")
 	}
 }
+
+// TestBatcherMetricsEagerlyRegistered pins the flight-recorder contract:
+// constructing a Batcher registers its whole metric family up front, so
+// /debug/vars and /metrics expose the series (at zero) from process start
+// rather than after the first witness flows through.
+func TestBatcherMetricsEagerlyRegistered(t *testing.T) {
+	scope := obs.NewScope(nil)
+	l := openTestLedger(t, scope)
+	b := NewBatcher(l, BatcherOptions{BatchSize: 100, MaxWait: time.Hour, Scope: scope})
+	defer b.Close()
+
+	snap := scope.Registry().Snapshot()
+	for _, name := range []string{
+		"ledger_queue_depth",
+		"ledger_queue_latency_us",
+		"ledger_flush_latency_us",
+		"ledger_flush_errors",
+		"ledger_batches",
+		"ledger_items",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("metric %q not registered before first flush", name)
+		}
+	}
+	if got := scope.Gauge("ledger_queue_depth").Value(); got != 0 {
+		t.Fatalf("fresh queue depth = %d", got)
+	}
+	b.Add(Item{JobID: "j-1", Witness: wh(1)})
+	if got := scope.Gauge("ledger_queue_depth").Value(); got != 1 {
+		t.Fatalf("queue depth after one Add = %d, want 1", got)
+	}
+}

@@ -235,6 +235,33 @@ func (pc *PackedCodec) RegBits() int { return pc.regBits }
 func (pc *PackedCodec) stateOff(pid int) int { return pid * pc.stateBits }
 func (pc *PackedCodec) regOff(r int) int     { return pc.procs*pc.stateBits + r*pc.regBits }
 
+// DictStats reports the interned dictionary sizes and the largest key-map
+// shard of each table — the numbers behind the codec_* gauges. Totals are
+// single atomic loads; the shard maxima take one RLock per shard, so this
+// is a sampling call (explore reads it once per BFS level), not a hot-path
+// one. Safe for concurrent use with interning.
+func (pc *PackedCodec) DictStats() (states, vals, maxStateShard, maxValShard int) {
+	states = int(pc.states.next.Load())
+	vals = int(pc.vals.next.Load())
+	maxStateShard = maxShardLen(pc.states)
+	maxValShard = maxShardLen(pc.vals)
+	return
+}
+
+// maxShardLen returns the key count of the fullest map stripe.
+func maxShardLen[T any](t *internTable[T]) int {
+	max := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		if n := len(sh.idx); n > max {
+			max = n
+		}
+		sh.mu.RUnlock()
+	}
+	return max
+}
+
 // getField extracts the bits-wide field at bit offset off.
 func getField(words []uint64, off, bits int) uint64 {
 	w, b := off>>6, uint(off&63)

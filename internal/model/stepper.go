@@ -40,6 +40,11 @@ type PackedStepper struct {
 	kb   KeyBuilder
 	ops  []packedOp
 	succ map[uint64]packedSucc
+	// hits/misses count memo lookups in StepPacked. Plain ints: a stepper
+	// is single-goroutine scratch, and the owner harvests them between
+	// chunks (explore folds the deltas into per-level metrics).
+	hits   uint64
+	misses uint64
 }
 
 // NewStepper returns a stepper over the codec's dictionaries with empty
@@ -91,7 +96,10 @@ func (ps *PackedStepper) StepPacked(dst, src []uint64, pid int, coin Value) erro
 		panic("model: packed step on decided or invalid state")
 	}
 	succ, ok := ps.succ[key]
-	if !ok {
+	if ok {
+		ps.hits++
+	} else {
+		ps.misses++
 		var err error
 		if succ, err = ps.resolve(sid, kind, reg, key, coin); err != nil {
 			return err
@@ -155,6 +163,12 @@ func (ps *PackedStepper) resolve(sid uint32, kind OpKind, reg int, key uint64, c
 	}
 	ps.succ[key] = succ
 	return succ, nil
+}
+
+// Stats returns the cumulative memo hit/miss counts of StepPacked calls.
+// Read from the owning goroutine only (or after it has quiesced).
+func (ps *PackedStepper) Stats() (hits, misses uint64) {
+	return ps.hits, ps.misses
 }
 
 // StateID extracts the dictionary id of pid's state field from a packed

@@ -17,8 +17,12 @@ import (
 //	/debug/pprof/*  — the standard Go profiler endpoints
 //	/debug/vars     — expvar-compatible JSON: process expvars (cmdline,
 //	                  memstats) merged with the scope's metric registry
+//	/metrics        — the same registry in Prometheus text format
+//	/timeseries     — the flight recorder's ring as JSON (empty series
+//	                  when no recorder is attached)
 //	/progress       — the live Progress snapshot (phase, frontier depth,
-//	                  elapsed, ETA from level growth)
+//	                  elapsed, ETA from level growth with level-size
+//	                  quantiles and a spread-pessimistic ETA)
 //	/healthz        — liveness: 200 "ok" while the process serves at all
 //	/readyz         — readiness: 200 "ready", or 503 with the error from
 //	                  the scope's SetReadyCheck probe (no probe = ready)
@@ -48,13 +52,56 @@ func Handler(s *Scope) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		writeVars(w, s)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Recorder().Snapshot())
+	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(s.Progress().Snapshot())
+		_ = enc.Encode(progressView(s))
 	})
 	return mux
+}
+
+// ProgressView is the /progress document: the Progress snapshot plus the
+// level-size quantiles of the run so far and a pessimistic ETA that scales
+// the growth-ratio estimate by the observed p95/p50 level-size spread —
+// wide-tailed explorations (the frontier distributions of n>=4 machines)
+// earn a proportionally more cautious estimate.
+type ProgressView struct {
+	Snapshot
+	// LevelSizeP50/P95/P99 are quantile estimates over every completed BFS
+	// level's frontier size (0 before the first level completes).
+	LevelSizeP50 int64 `json:"level_size_p50"`
+	LevelSizeP95 int64 `json:"level_size_p95"`
+	LevelSizeP99 int64 `json:"level_size_p99"`
+	// EtaP95Sec is EtaSec scaled by p95/p50; -1 when there is no estimate.
+	EtaP95Sec float64 `json:"eta_p95_sec"`
+}
+
+// progressView assembles the /progress document for a scope.
+func progressView(s *Scope) ProgressView {
+	v := ProgressView{Snapshot: s.Progress().Snapshot(), EtaP95Sec: -1}
+	h := s.Registry().Histogram("explore_level_size", LevelSizeBounds)
+	if h.Count() == 0 {
+		return v
+	}
+	p50 := h.Quantile(0.50)
+	v.LevelSizeP50 = int64(p50 + 0.5)
+	v.LevelSizeP95 = int64(h.Quantile(0.95) + 0.5)
+	v.LevelSizeP99 = int64(h.Quantile(0.99) + 0.5)
+	if v.EtaSec >= 0 && p50 > 0 {
+		v.EtaP95Sec = v.EtaSec * h.Quantile(0.95) / p50
+	}
+	return v
 }
 
 // writeVars renders the expvar-compatible /debug/vars document: every
@@ -122,6 +169,12 @@ type Config struct {
 	// DebugAddr, when non-empty, is the listen address of the debug HTTP
 	// endpoint.
 	DebugAddr string
+	// RecordEvery is the flight-recorder sampling interval: 0 means
+	// DefaultRecordEvery, negative disables the recorder. Only consulted
+	// when the config enables observability at all.
+	RecordEvery time.Duration
+	// RecordSize is the recorder ring capacity (0 = DefaultRecordSize).
+	RecordSize int
 }
 
 // enabled reports whether any backend was requested.
@@ -149,17 +202,25 @@ func Start(cfg Config) (*Scope, func() error, error) {
 		tr = NewTracer(w)
 	}
 	scope := NewScope(tr)
+	var rec *Recorder
+	if cfg.RecordEvery >= 0 {
+		rec = NewRecorder(scope.Registry(), cfg.RecordEvery, cfg.RecordSize)
+		scope.SetRecorder(rec)
+		rec.Start()
+	}
 	var srv *Server
 	if cfg.DebugAddr != "" {
 		var err error
 		srv, err = Serve(cfg.DebugAddr, scope)
 		if err != nil {
+			rec.Stop()
 			_ = tr.Close()
 			return nil, nil, err
 		}
-		fmt.Fprintf(os.Stderr, "obs: debug endpoint on http://%s (/debug/pprof, /debug/vars, /progress, /healthz, /readyz)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "obs: debug endpoint on http://%s (/debug/pprof, /debug/vars, /metrics, /timeseries, /progress, /healthz, /readyz)\n", srv.Addr())
 	}
 	shutdown := func() error {
+		rec.Stop()
 		err := srv.Close()
 		if cerr := tr.Close(); err == nil {
 			err = cerr

@@ -126,10 +126,51 @@ func (h *Histogram) Count() int64 {
 	return h.n.Load()
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts
+// by linear interpolation inside the bucket holding the target rank, the
+// same estimator Prometheus applies to histogram series. Observations in
+// the overflow bucket clamp to the largest finite bound — the histogram
+// cannot see past its bounds. Returns 0 for a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if len(h.bounds) == 0 {
+		return float64(h.sum.Load()) / float64(n)
+	}
+	rank := q * float64(n)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			if i >= len(h.bounds) {
+				return float64(h.bounds[len(h.bounds)-1])
+			}
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			hi := float64(h.bounds[i])
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 // snapshot renders the histogram as a JSON-marshallable value: bucket
-// upper-bound label -> count, plus count and sum.
+// upper-bound label -> count, plus count, sum and the p50/p95/p99
+// quantile estimates (rounded; the buckets are integers already).
 func (h *Histogram) snapshot() map[string]int64 {
-	out := make(map[string]int64, len(h.bounds)+3)
+	out := make(map[string]int64, len(h.bounds)+6)
 	for i := range h.counts {
 		c := h.counts[i].Load()
 		if c == 0 {
@@ -143,6 +184,11 @@ func (h *Histogram) snapshot() map[string]int64 {
 	}
 	out["count"] = h.n.Load()
 	out["sum"] = h.sum.Load()
+	if out["count"] > 0 {
+		out["p50"] = int64(h.Quantile(0.50) + 0.5)
+		out["p95"] = int64(h.Quantile(0.95) + 0.5)
+		out["p99"] = int64(h.Quantile(0.99) + 0.5)
+	}
 	return out
 }
 
@@ -156,6 +202,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -164,7 +211,20 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp attaches a help string to the named metric, rendered as the
+// Prometheus # HELP line by WritePrometheus. Metrics without one fall back
+// to the metric name. Safe on nil.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use. A nil

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of the metrics
+// registry, served at /metrics alongside the expvar JSON at /debug/vars.
+// The registry's snake_case names map straight onto the Prometheus data
+// model; the few names carrying characters outside [a-zA-Z0-9_:] (probe
+// outcomes like "solo-certificate") are sanitised on the way out, and
+// histograms — stored as per-bucket counts internally — are rendered with
+// the cumulative _bucket/_sum/_count series the format requires.
+
+// promName sanitises a registry name into a legal Prometheus metric name:
+// every character outside [a-zA-Z0-9_:] becomes '_', and a leading digit
+// gets a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+			b.WriteByte(c)
+			continue
+		}
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promHelp escapes a help string for the # HELP line: backslash and
+// newline are the two characters the format escapes there.
+func promHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// header writes the # HELP and # TYPE preamble of one metric family.
+func promHeader(w io.Writer, name, help, typ string) error {
+	if help == "" {
+		help = name
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, promHelp(help), name, typ)
+	return err
+}
+
+// WritePrometheus renders every metric in Prometheus text format, families
+// sorted by name so the output is deterministic. Counters and gauges are
+// single samples; histograms become cumulative <name>_bucket{le="..."}
+// series plus <name>_sum and <name>_count. Safe on nil (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(counters)+len(gauges)+len(hists))
+	for k := range counters {
+		names = append(names, k)
+	}
+	for k := range gauges {
+		names = append(names, k)
+	}
+	for k := range hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	prev := ""
+	for _, name := range names {
+		if name == prev {
+			// A name claimed by two metric kinds renders once, under the
+			// precedence of the switch below.
+			continue
+		}
+		prev = name
+		pn := promName(name)
+		switch {
+		case counters[name] != nil:
+			if err := promHeader(w, pn, help[name], "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", pn, counters[name].Value()); err != nil {
+				return err
+			}
+		case gauges[name] != nil:
+			if err := promHeader(w, pn, help[name], "gauge"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", pn, gauges[name].Value()); err != nil {
+				return err
+			}
+		default:
+			h := hists[name]
+			if err := promHeader(w, pn, help[name], "histogram"); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, bound, cum); err != nil {
+					return err
+				}
+			}
+			// The +Inf bucket is the total count by definition; read n
+			// rather than summing so a racing Observe cannot leave the
+			// family internally inconsistent in an obvious way.
+			n := h.n.Load()
+			if cum > n {
+				n = cum
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, n); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n", pn, h.sum.Load()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

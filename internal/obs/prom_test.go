@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promFamily is one parsed metric family from a text-format exposition.
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []promSample
+}
+
+type promSample struct {
+	name   string // full sample name (family, family_bucket, _sum, _count)
+	labels string // raw label block without braces, "" if none
+	value  int64
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+)
+
+// parseProm is a strict parser for the Prometheus text format (0.0.4)
+// subset this package emits: it fails the test on any malformed line,
+// HELP/TYPE ordering violation, illegal metric or label name, duplicate
+// family, or sample that does not belong to the preceding family.
+func parseProm(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	fams := make(map[string]*promFamily)
+	var cur *promFamily
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
+			}
+			if !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: illegal metric name %q", lineNo, name)
+			}
+			if _, dup := fams[name]; dup {
+				t.Fatalf("line %d: family %q declared twice", lineNo, name)
+			}
+			if strings.ContainsAny(strings.ReplaceAll(strings.ReplaceAll(help, `\\`, ""), `\n`, ""), "\n\\") {
+				t.Fatalf("line %d: unescaped character in help %q", lineNo, help)
+			}
+			cur = &promFamily{name: name, help: help}
+			fams[name] = cur
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			if cur == nil || cur.name != name {
+				t.Fatalf("line %d: TYPE for %q does not follow its HELP", lineNo, name)
+			}
+			if cur.typ != "" {
+				t.Fatalf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unexpected type %q", lineNo, typ)
+			}
+			cur.typ = typ
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
+		default:
+			nameAndLabels, valStr, ok := strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed sample: %q", lineNo, line)
+			}
+			val, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: non-integer sample value %q: %v", lineNo, valStr, err)
+			}
+			name, labels := nameAndLabels, ""
+			if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+				if !strings.HasSuffix(nameAndLabels, "}") {
+					t.Fatalf("line %d: unterminated label block: %q", lineNo, line)
+				}
+				name, labels = nameAndLabels[:i], nameAndLabels[i+1:len(nameAndLabels)-1]
+				for _, pair := range strings.Split(labels, ",") {
+					if !promLabelRe.MatchString(pair) {
+						t.Fatalf("line %d: malformed label %q", lineNo, pair)
+					}
+				}
+			}
+			if !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: illegal sample name %q", lineNo, name)
+			}
+			if cur == nil {
+				t.Fatalf("line %d: sample %q before any family", lineNo, name)
+			}
+			base := cur.name
+			if name != base && name != base+"_bucket" && name != base+"_sum" && name != base+"_count" {
+				t.Fatalf("line %d: sample %q does not belong to family %q", lineNo, name, base)
+			}
+			if cur.typ != "histogram" && name != base {
+				t.Fatalf("line %d: suffixed sample %q on %s family", lineNo, name, cur.typ)
+			}
+			cur.samples = append(cur.samples, promSample{name: name, labels: labels, value: val})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// checkHistogramFamily validates the cumulative-bucket contract: bucket
+// values non-decreasing in le order, a final le="+Inf" bucket, and
+// _count equal to the +Inf bucket.
+func checkHistogramFamily(t *testing.T, f *promFamily) {
+	t.Helper()
+	var buckets []promSample
+	var sum, count *promSample
+	for i := range f.samples {
+		s := &f.samples[i]
+		switch s.name {
+		case f.name + "_bucket":
+			buckets = append(buckets, *s)
+		case f.name + "_sum":
+			sum = s
+		case f.name + "_count":
+			count = s
+		default:
+			t.Fatalf("family %s: stray sample %q", f.name, s.name)
+		}
+	}
+	if len(buckets) == 0 || sum == nil || count == nil {
+		t.Fatalf("family %s: incomplete histogram (buckets=%d sum=%v count=%v)", f.name, len(buckets), sum != nil, count != nil)
+	}
+	last := buckets[len(buckets)-1]
+	if last.labels != `le="+Inf"` {
+		t.Fatalf("family %s: last bucket is %q, want le=\"+Inf\"", f.name, last.labels)
+	}
+	prev := int64(-1)
+	for _, b := range buckets {
+		if b.value < prev {
+			t.Fatalf("family %s: bucket %q value %d below previous %d; buckets are not cumulative", f.name, b.labels, b.value, prev)
+		}
+		prev = b.value
+	}
+	if count.value != last.value {
+		t.Fatalf("family %s: _count = %d but +Inf bucket = %d", f.name, count.value, last.value)
+	}
+}
+
+// TestWritePrometheusStrict builds a registry shaped like the engine's —
+// including a dash-carrying probe name and a help string with characters
+// that need escaping — and validates the whole exposition with the strict
+// parser.
+func TestWritePrometheusStrict(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("explore_configs").Add(41)
+	reg.Counter("valency_probe_solo-certificate").Add(7) // dash must sanitise
+	reg.Gauge("jobs_running").Set(3)
+	reg.SetHelp("explore_configs", "configurations expanded\nwith a newline and a \\ backslash")
+	h := reg.Histogram("explore_level_size", []int64{1, 10, 100})
+	for _, v := range []int64{0, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseProm(t, b.String())
+
+	c, ok := fams["explore_configs"]
+	if !ok || c.typ != "counter" {
+		t.Fatalf("explore_configs family missing or wrong type: %+v", c)
+	}
+	if len(c.samples) != 1 || c.samples[0].value != 41 {
+		t.Fatalf("explore_configs samples = %+v, want single 41", c.samples)
+	}
+	if !strings.Contains(c.help, `\n`) || !strings.Contains(c.help, `\\`) {
+		t.Fatalf("help not escaped: %q", c.help)
+	}
+
+	probe, ok := fams["valency_probe_solo_certificate"]
+	if !ok {
+		t.Fatalf("dash name not sanitised; families: %v", famNames(fams))
+	}
+	if probe.samples[0].value != 7 {
+		t.Fatalf("sanitised counter value = %d, want 7", probe.samples[0].value)
+	}
+
+	g, ok := fams["jobs_running"]
+	if !ok || g.typ != "gauge" || g.samples[0].value != 3 {
+		t.Fatalf("jobs_running family wrong: %+v", g)
+	}
+
+	hist, ok := fams["explore_level_size"]
+	if !ok || hist.typ != "histogram" {
+		t.Fatalf("explore_level_size family missing or wrong type: %+v", hist)
+	}
+	checkHistogramFamily(t, hist)
+	// 5 observations, 2 of them (500, 5000) past the largest bound.
+	var inf int64
+	for _, s := range hist.samples {
+		if s.labels == `le="+Inf"` {
+			inf = s.value
+		}
+	}
+	if inf != 5 {
+		t.Fatalf("+Inf bucket = %d, want 5", inf)
+	}
+}
+
+// TestMetricsEndpointServesPrometheus drives the real /metrics route and
+// re-validates the body plus the versioned content type.
+func TestMetricsEndpointServesPrometheus(t *testing.T) {
+	scope := NewScope(nil)
+	scope.Counter("explore_configs").Add(9)
+	scope.Histogram("checkpoint_save_us", []int64{100, 1000}).Observe(50)
+
+	rr := httptest.NewRecorder()
+	Handler(scope).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/metrics status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q lacks text-format version", ct)
+	}
+	fams := parseProm(t, rr.Body.String())
+	if f := fams["explore_configs"]; f == nil || f.samples[0].value != 9 {
+		t.Fatalf("explore_configs not served: %+v", f)
+	}
+	if f := fams["checkpoint_save_us"]; f == nil || f.typ != "histogram" {
+		t.Fatalf("checkpoint_save_us not served as histogram: %+v", f)
+	} else {
+		checkHistogramFamily(t, f)
+	}
+}
+
+// TestPromNameSanitiser pins the exact sanitisation rules.
+func TestPromNameSanitiser(t *testing.T) {
+	cases := map[string]string{
+		"explore_configs":                "explore_configs",
+		"valency_probe_solo-certificate": "valency_probe_solo_certificate",
+		"a.b/c":                          "a_b_c",
+		"0abc":                           "_0abc",
+		"ns:sub":                         "ns:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func famNames(fams map[string]*promFamily) []string {
+	out := make([]string, 0, len(fams))
+	for k := range fams {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestHistogramQuantile pins the linear-interpolation estimator the
+// /progress ETA and the snapshot p50/p95/p99 keys rely on.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("q", []int64{10, 20, 40})
+	// 10 observations in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); got < 5 || got > 15 {
+		t.Fatalf("p50 = %v, want within [5,15] for a 10/10 split", got)
+	}
+	if got := h.Quantile(0.95); got <= 15 || got > 20 {
+		t.Fatalf("p95 = %v, want in (15,20]", got)
+	}
+	// Overflow observations clamp to the largest finite bound rather than
+	// inventing values beyond what the buckets can resolve.
+	h2 := NewRegistry().Histogram("q2", []int64{10})
+	h2.Observe(99)
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Fatalf("overflow quantile = %v, want clamp to 10", got)
+	}
+
+	snapHost := NewRegistry()
+	h3 := snapHost.Histogram("lat", []int64{1, 2, 4})
+	h3.Observe(1)
+	h3.Observe(3)
+	snap := snapHost.Snapshot()["lat"].(map[string]int64)
+	for _, k := range []string{"p50", "p95", "p99", "count", "sum"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("snapshot missing %q: %v", k, snap)
+		}
+	}
+}

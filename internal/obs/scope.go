@@ -18,6 +18,10 @@ type Scope struct {
 	prog *Progress
 	// ready holds the registered /readyz probe (nil until SetReadyCheck).
 	ready atomic.Pointer[func() error]
+	// rec holds the attached flight recorder (nil until SetRecorder). The
+	// engine ticks it at its natural boundaries (BFS levels, phase changes)
+	// so the trajectory samples land where the work actually happened.
+	rec atomic.Pointer[Recorder]
 }
 
 // NewScope returns an enabled scope with a fresh registry and progress
@@ -79,6 +83,23 @@ func (s *Scope) ReadyErr() error {
 	return (*fn)()
 }
 
+// SetRecorder attaches a flight recorder to the scope. Safe on nil.
+func (s *Scope) SetRecorder(rc *Recorder) {
+	if s == nil {
+		return
+	}
+	s.rec.Store(rc)
+}
+
+// Recorder returns the attached flight recorder (nil when disabled or none
+// attached; the nil recorder is a no-op). Safe on nil.
+func (s *Scope) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec.Load()
+}
+
 // Counter resolves a named counter; instrumentation sites resolve once and
 // hold the pointer (the nil pointer from a nil scope stays a no-op).
 func (s *Scope) Counter(name string) *Counter {
@@ -131,6 +152,7 @@ func (s *Scope) SetPhase(format string, args ...any) {
 	phase := fmt.Sprintf(format, args...)
 	s.prog.SetPhase(phase)
 	s.tr.Event("phase", slog.String("phase", phase))
+	s.rec.Load().Tick()
 }
 
 // CheckpointSaved records one successful checkpoint write: bumps the
@@ -182,6 +204,7 @@ func (s *Scope) ExploreLevel(l Level) {
 		slog.Int("dedup_hits", l.Dup),
 		slog.Int("configs", l.Configs),
 	)
+	s.rec.Load().Tick()
 }
 
 // LevelSizeBounds are the fixed buckets of the explore_level_size

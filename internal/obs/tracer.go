@@ -20,8 +20,9 @@ import (
 // only pays at phase granularity (lemma stages, BFS levels, oracle
 // searches), never per configuration.
 type Tracer struct {
-	log *slog.Logger
-	ids atomic.Uint64
+	log  *slog.Logger
+	ids  atomic.Uint64
+	sink io.Writer
 
 	mu     sync.Mutex
 	closer io.Closer
@@ -31,11 +32,35 @@ type Tracer struct {
 // Close closes it.
 func NewTracer(w io.Writer) *Tracer {
 	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
-	t := &Tracer{log: slog.New(h)}
+	t := &Tracer{log: slog.New(h), sink: w}
 	if c, ok := w.(io.Closer); ok {
 		t.closer = c
 	}
 	return t
+}
+
+// NewTracerWithID returns a tracer whose every record carries a
+// "trace":traceID attribute, so spans from one job remain filterable after
+// interleaving with other jobs' records in a shared sink (the multi-tenant
+// server tees each job's tracer into its own trace). An empty traceID is
+// the plain NewTracer.
+func NewTracerWithID(w io.Writer, traceID string) *Tracer {
+	t := NewTracer(w)
+	if traceID != "" {
+		t.log = t.log.With(slog.String("trace", traceID))
+	}
+	return t
+}
+
+// Sink returns the writer this tracer emits to, letting an owner tee
+// another tracer's output into the same stream (slog handlers serialise
+// each record into a single Write, so interleaved JSONL lines stay whole).
+// Nil for a nil tracer.
+func (t *Tracer) Sink() io.Writer {
+	if t == nil {
+		return nil
+	}
+	return t.sink
 }
 
 // Close releases the underlying writer, if it is closable. Safe on nil.

@@ -99,6 +99,12 @@ type LedgerRef struct {
 type Status struct {
 	ID   string  `json:"id"`
 	Spec JobSpec `json:"spec"`
+	// TraceID correlates this job's spans across the shared server trace:
+	// every record the job's engine emits (explore levels, valency queries,
+	// adversary lemma spans) carries "trace":TraceID, so one job's history
+	// is recoverable from a multi-tenant trace.jsonl by filtering on it.
+	// Assigned at submission and persisted, so it survives restarts.
+	TraceID string `json:"trace_id,omitempty"`
 
 	State    State `json:"state"`
 	Attempts int   `json:"attempts"`

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	crand "crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -228,6 +229,12 @@ func (s *Server) recover() error {
 		if n := idNum(name); n >= s.nextID {
 			s.nextID = n + 1
 		}
+		if j.status.TraceID == "" {
+			// Jobs persisted before trace correlation existed (or with a
+			// torn status rebuilt from spec) get an ID now, so their future
+			// spans are filterable like everyone else's.
+			j.status.TraceID = newTraceID()
+		}
 		s.jobs[name] = j
 		switch j.status.State {
 		case StateFailed:
@@ -288,6 +295,20 @@ func (s *Server) requeueRecovered(j *job, note string) {
 		slog.Int("attempts", j.status.Attempts))
 }
 
+// newTraceID returns a fresh 64-bit random hex trace identifier. Job IDs
+// are sequential and restart from the data directory's maximum, so they
+// cannot correlate records across unrelated server incarnations; a random
+// trace ID can.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Fall back to the clock; uniqueness within one trace file is all
+		// the correlation needs.
+		return fmt.Sprintf("t%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // idNum parses the numeric tail of a job ID ("j000042" -> 42), -1 if the
 // name is foreign.
 func idNum(name string) int {
@@ -327,7 +348,7 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 		dir: filepath.Join(s.opts.DataDir, "jobs", id),
 	}
 	now := time.Now().UnixNano()
-	j.status = Status{ID: id, Spec: spec, State: StateQueued, CreatedUnixNano: now, UpdatedUnixNano: now}
+	j.status = Status{ID: id, Spec: spec, TraceID: newTraceID(), State: StateQueued, CreatedUnixNano: now, UpdatedUnixNano: now}
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
 		return Status{}, fmt.Errorf("server: job dir: %w", err)
 	}
@@ -345,6 +366,7 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 	s.scope.Gauge("jobs_queued").Set(int64(len(s.queue)))
 	s.scope.Event("job_submitted",
 		slog.String("job", id),
+		slog.String("trace", j.status.TraceID),
 		slog.String("protocol", spec.Protocol),
 		slog.Int("n", spec.N))
 	return j.status, nil
@@ -429,6 +451,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		t.Stop()
 		delete(s.timers, id)
 	}
+	s.scope.Gauge("jobs_retrying").Set(0)
 	s.mu.Unlock()
 	s.scope.Event("server_draining")
 	s.cancelAll()
@@ -489,6 +512,11 @@ func (s *Server) pop() *job {
 	}
 }
 
+// AttemptLatencyBoundsMicros are the fixed buckets of the job_attempt_us
+// histogram: attempts range from fast-forwarded resumes of milliseconds to
+// cold n=5 constructions of minutes.
+var AttemptLatencyBoundsMicros = []int64{10000, 50000, 100000, 500000, 1000000, 5000000, 10000000, 60000000, 300000000, 1800000000}
+
 // attempt runs one supervised attempt of j and decides its fate: done,
 // retry after backoff, terminal failure, or (during drain) persisted back
 // to queued for the next process.
@@ -507,7 +535,9 @@ func (s *Server) attempt(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
+	attemptStart := time.Now()
 	err := s.runJob(ctx, j)
+	s.scope.Histogram("job_attempt_us", AttemptLatencyBoundsMicros).Observe(time.Since(attemptStart).Microseconds())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -570,6 +600,7 @@ func (s *Server) attempt(j *job) {
 		slog.Duration("backoff", delay),
 		slog.String("err", err.Error()))
 	s.timers[j.id] = time.AfterFunc(delay, func() { s.requeueRetry(j) })
+	s.scope.Gauge("jobs_retrying").Set(int64(len(s.timers)))
 }
 
 // requeueRetry moves a backed-off job onto the queue (timer callback).
@@ -578,6 +609,7 @@ func (s *Server) requeueRetry(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.timers, j.id)
+	s.scope.Gauge("jobs_retrying").Set(int64(len(s.timers)))
 	if s.draining {
 		return // already persisted as queued; next process resumes it
 	}
@@ -620,14 +652,30 @@ func (s *Server) runJob(ctx context.Context, j *job) error {
 	opts.Workers = spec.Workers
 
 	// Per-job trace, appended across attempts so the retry history reads as
-	// one stream.
+	// one stream. When the server itself traces, the job's records are teed
+	// into the shared trace too — tagged with the job's trace ID, so one
+	// job's spans filter cleanly out of the multi-tenant stream.
 	tf, err := os.OpenFile(filepath.Join(j.dir, "trace.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	tr := obs.NewTracer(tf)
+	defer tf.Close()
+	tw := io.Writer(tf)
+	if sink := s.scope.Tracer().Sink(); sink != nil {
+		// A tee loses tf's Closer identity, hence the explicit Close above
+		// (harmlessly redundant when the tracer owns it). slog serialises
+		// each record into one Write, so interleaved lines stay whole.
+		tw = io.MultiWriter(tf, sink)
+	}
+	tr := obs.NewTracerWithID(tw, j.status.TraceID)
 	defer tr.Close()
 	scope := obs.NewScope(tr)
+	if rec := s.scope.Recorder(); rec != nil {
+		// The job engine's level boundaries tick the server's shared flight
+		// recorder, but the samples read the server scope's registry — the
+		// job's private registry stays its own.
+		scope.SetRecorder(rec)
+	}
 	opts.Obs = scope
 
 	store, err := checkpoint.Open(filepath.Join(j.dir, "ckpt"))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -12,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -438,5 +440,113 @@ func TestTraceEndpointStreams(t *testing.T) {
 	}
 	if !sawTheorem {
 		t.Fatal("trace has no theorem1 span")
+	}
+}
+
+// lockedBuffer is a concurrency-safe io.Writer standing in for the
+// server's shared trace sink; slog serialises each record into a single
+// Write, so whole JSONL lines interleave without tearing.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestTwoJobTraceCorrelation runs two jobs concurrently against a server
+// whose scope carries a tracer, so every job span is teed into one
+// multi-tenant trace stream. Each job's spans must be recoverable from
+// that stream by its trace ID alone, and each job's private trace.jsonl
+// must carry only its own ID.
+func TestTwoJobTraceCorrelation(t *testing.T) {
+	var shared lockedBuffer
+	tr := obs.NewTracer(&shared)
+	opts := fastOptions(t)
+	opts.Workers = 2
+	opts.Scope = obs.NewScope(tr)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st1, err := s.Submit(JobSpec{Protocol: core.ProtocolDiskRace, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.Submit(JobSpec{Protocol: core.ProtocolFlood, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.TraceID == "" || st2.TraceID == "" {
+		t.Fatalf("jobs submitted without trace IDs: %q, %q", st1.TraceID, st2.TraceID)
+	}
+	if st1.TraceID == st2.TraceID {
+		t.Fatalf("both jobs share trace ID %q", st1.TraceID)
+	}
+	for _, id := range []string{st1.ID, st2.ID} {
+		waitFor(t, 60*time.Second, "job "+id+" done", func() bool {
+			got, err := s.Job(id)
+			return err == nil && got.State == StateDone
+		})
+	}
+	drain(t, s)
+
+	// The multi-tenant stream: filtering on one trace ID must recover that
+	// job's spans, and the two span sets must be non-empty and disjoint.
+	perTrace := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(shared.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("malformed JSONL line in shared trace: %q: %v", line, err)
+		}
+		if id, ok := rec["trace"].(string); ok {
+			perTrace[id]++
+		}
+	}
+	for _, st := range []Status{st1, st2} {
+		if perTrace[st.TraceID] == 0 {
+			t.Errorf("no spans for trace %s (job %s) in the shared stream; got %v", st.TraceID, st.ID, perTrace)
+		}
+	}
+
+	// Each job's private trace carries its own ID on every record and
+	// never the other job's.
+	others := map[string]string{st1.ID: st2.TraceID, st2.ID: st1.TraceID}
+	own := map[string]string{st1.ID: st1.TraceID, st2.ID: st2.TraceID}
+	for _, jobID := range []string{st1.ID, st2.ID} {
+		path, err := s.TracePath(jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) == 0 || lines[0] == "" {
+			t.Fatalf("job %s produced an empty trace", jobID)
+		}
+		for _, line := range lines {
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("job %s: malformed trace line %q: %v", jobID, line, err)
+			}
+			if got, _ := rec["trace"].(string); got != own[jobID] {
+				t.Fatalf("job %s: trace line tagged %q, want %q: %s", jobID, got, own[jobID], line)
+			}
+			if strings.Contains(line, others[jobID]) {
+				t.Fatalf("job %s: foreign trace ID leaked into private trace: %s", jobID, line)
+			}
+		}
 	}
 }

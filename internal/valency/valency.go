@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"log/slog"
 	"slices"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/explore"
@@ -128,7 +129,13 @@ type oracleMetrics struct {
 	soloQueries, soloHits *obs.Counter
 	configs               *obs.Counter
 	queryConfigs          *obs.Histogram
+	queryUs               *obs.Histogram
 }
+
+// QueryLatencyBoundsMicros are the fixed buckets of the valency_query_us
+// histogram: exhaustive queries span memo-adjacent microseconds to
+// full-space searches of seconds.
+var QueryLatencyBoundsMicros = []int64{100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1000000, 5000000, 30000000}
 
 func newOracleMetrics(s *obs.Scope) oracleMetrics {
 	if !s.Enabled() {
@@ -141,6 +148,7 @@ func newOracleMetrics(s *obs.Scope) oracleMetrics {
 		soloHits:     s.Counter("valency_solo_hits"),
 		configs:      s.Counter("valency_configs"),
 		queryConfigs: s.Histogram("valency_query_configs", obs.LevelSizeBounds),
+		queryUs:      s.Histogram("valency_query_us", QueryLatencyBoundsMicros),
 	}
 }
 
@@ -291,6 +299,7 @@ func (o *Oracle) exploreDecidable(ctx context.Context, key queryKey, c model.Con
 		}
 	}
 	numProcs := c.NumProcesses()
+	searchStart := time.Now()
 	res, err := explore.Reach(ctx, c, p, opts, func(v explore.Visit) bool {
 		// Per-pid Decided probes instead of DecidedValues(): the latter
 		// builds a map per visited configuration, which dominated the
@@ -314,6 +323,7 @@ func (o *Oracle) exploreDecidable(ctx context.Context, key queryKey, c model.Con
 	o.stats.DeepestLevel = max(o.stats.DeepestLevel, res.Depth)
 	o.metrics.configs.Add(int64(res.Count))
 	o.metrics.queryConfigs.Observe(int64(res.Count))
+	o.metrics.queryUs.Observe(time.Since(searchStart).Microseconds())
 	for val, id := range witnessIDs {
 		path, ok := res.PathTo(id)
 		if !ok {
