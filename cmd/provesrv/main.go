@@ -9,7 +9,15 @@
 //	         [-jobs 2] [-queue 8] [-max-attempts 5] [-retry-base 500ms] [-retry-max 30s]
 //	         [-default-timeout 0] [-checkpoint-every 2s] [-batch-size 16] [-batch-wait 500ms]
 //	         [-debug-addr host:port] [-trace-out trace.jsonl]
+//	         [-coordinator -dist-protocol diskrace -dist-n 3 -dist-slices 3
+//	          -dist-max-depth 0 -dist-lease 2s]
 //	provesrv -verify-ledger path/to/ledger.seg
+//
+// With -coordinator the server additionally mounts a distributed shard
+// coordinator under /dist/ (see internal/dist): `spacebound -shard` workers
+// attach to it, lease fingerprint slices, and explore the configured run
+// with crash-tolerant leases and checkpointed recovery. Shard health shows
+// up on the obs endpoint's /progress.
 //
 // Everything the server must not lose lives under -data-dir: one directory
 // per job (spec, status, checkpoints, witness artifact, trace) plus the
@@ -41,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -76,6 +85,12 @@ func run() error {
 	traceOut := flag.String("trace-out", "", "server-level JSONL trace (empty = off, - = stderr); job spans are teed in, tagged by trace ID")
 	recordEvery := flag.Duration("record-every", 0, "flight-recorder sampling interval for /timeseries (0 = 1s default, negative = off)")
 	verifyLedger := flag.String("verify-ledger", "", "verify this ledger file and exit (no server)")
+	coordinator := flag.Bool("coordinator", false, "also mount a distributed-exploration coordinator under /dist/ (see -dist-* flags)")
+	distProtocol := flag.String("dist-protocol", "diskrace", "protocol the coordinated run explores")
+	distN := flag.Int("dist-n", 3, "process count of the coordinated run")
+	distSlices := flag.Int("dist-slices", 3, "fingerprint slices of the coordinated run")
+	distMaxDepth := flag.Int("dist-max-depth", 0, "depth cap of the coordinated run (0 = unbounded)")
+	distLease := flag.Duration("dist-lease", 2*time.Second, "shard lease; a worker silent for longer loses its slices")
 	flag.Parse()
 
 	if *verifyLedger != "" {
@@ -119,11 +134,26 @@ func run() error {
 		return err
 	}
 
+	var mounts []server.Mount
+	if *coordinator {
+		run, err := dist.NewRun(*distProtocol, *distN, *distSlices, *distMaxDepth, *distLease)
+		if err != nil {
+			return err
+		}
+		coord, err := run.Coordinator(scope)
+		if err != nil {
+			return err
+		}
+		scope.SetShardHealth(coord.ShardHealth)
+		mounts = append(mounts, server.Mount{Pattern: "/dist/", Handler: coord.Handler()})
+		fmt.Fprintf(os.Stderr, "provesrv: coordinating %s n=%d over %d slices\n", *distProtocol, *distN, *distSlices)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	httpSrv := &http.Server{Handler: srv.Handler(mounts...), ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	// The bound address on its own stderr line so scripts (and the e2e

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// coordProc is a running `spacebound -coordinator` child process.
+type coordProc struct {
+	cmd    *exec.Cmd
+	url    string
+	stderr *bytes.Buffer
+}
+
+var coordAddrRe = regexp.MustCompile(`coordinator on (http://\S+)`)
+
+// startCoordinator launches the coordinator on an ephemeral port and waits
+// for it to announce its bound address on stderr.
+func startCoordinator(t *testing.T, ctx context.Context, bin string, args ...string) *coordProc {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cp := &coordProc{cmd: cmd, stderr: &bytes.Buffer{}}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(io.TeeReader(stderrPipe, cp.stderr))
+		for sc.Scan() {
+			if m := coordAddrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case cp.url = <-addrCh:
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("coordinator never announced its address; stderr so far:\n%s", cp.stderr)
+	}
+	return cp
+}
+
+// TestShardKillByteIdenticalWitness is the distributed acceptance test:
+// a coordinator with three shard workers explores DiskRace n=4; the worker
+// that initially leases every slice is SIGKILLed mid-level (kill@level=3
+// fires right after its first exchange-chunk post — a torn exchange). The
+// survivors must take over its slices from checkpoints and retained
+// chunks, the coordinator must record reassignments in /metrics, and the
+// merged witness must be byte-identical to the single-process reference.
+func TestShardKillByteIdenticalWitness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	work := t.TempDir()
+	bin := buildBinary(t, work)
+	seqOut := filepath.Join(work, "seq.txt")
+	distOut := filepath.Join(work, "dist.txt")
+
+	// Single-process reference witness.
+	runBinary(t, bin,
+		"-dist-sequential", "-protocol", "diskrace", "-n", "4",
+		"-dist-max-depth", "7", "-witness-out", seqOut)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	coord := startCoordinator(t, ctx, bin,
+		"-coordinator", "127.0.0.1:0", "-protocol", "diskrace", "-n", "4",
+		"-dist-slices", "3", "-dist-max-depth", "7", "-dist-lease", "500ms",
+		"-dist-linger", "30s", "-witness-out", distOut)
+
+	shard := func(id string, fault string) *exec.Cmd {
+		args := []string{"-shard", coord.url, "-shard-id", id}
+		if fault != "" {
+			args = append(args, "-shard-fault", fault)
+		}
+		cmd := exec.CommandContext(ctx, bin, args...)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		return cmd
+	}
+
+	// The victim starts alone so it leases every slice before the
+	// survivors join — its death at level 3 forces all three slices
+	// through lease-expiry reassignment.
+	victim := shard("victim", "kill@level=3")
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	survivors := []*exec.Cmd{shard("survivor-1", ""), shard("survivor-2", "")}
+	for _, s := range survivors {
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The victim must die by SIGKILL, not exit cleanly.
+	err := victim.Wait()
+	if err == nil {
+		t.Fatal("victim shard exited cleanly; the scripted kill never fired")
+	}
+	if victim.ProcessState.ExitCode() != -1 {
+		t.Fatalf("victim exited with code %d, want a signal death: %v", victim.ProcessState.ExitCode(), err)
+	}
+
+	for _, s := range survivors {
+		if err := s.Wait(); err != nil {
+			t.Fatalf("survivor %v failed: %v\ncoordinator stderr:\n%s", s.Args, err, coord.stderr)
+		}
+	}
+
+	// Survivors exited, so the run is done and the coordinator is
+	// lingering: scrape its metrics, shard health, and served witness
+	// before telling it to shut down.
+	metrics := httpGet(t, coord.url+"/metrics")
+	m := regexp.MustCompile(`(?m)^dist_reassigns (\d+)`).FindStringSubmatch(metrics)
+	if m == nil || m[1] == "0" {
+		t.Fatalf("no reassignments in /metrics after killing the victim:\n%s", metrics)
+	}
+	progress := httpGet(t, coord.url+"/progress")
+	if !strings.Contains(progress, `"shards"`) || !strings.Contains(progress, `"reassigns"`) {
+		t.Fatalf("/progress has no shard health:\n%s", progress)
+	}
+	served := httpGet(t, coord.url+"/dist/witness")
+
+	if err := coord.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	_ = coord.cmd.Wait()
+
+	distBytes, err := os.ReadFile(distOut)
+	if err != nil {
+		t.Fatalf("distributed witness artifact: %v\ncoordinator stderr:\n%s", err, coord.stderr)
+	}
+	seqBytes, err := os.ReadFile(seqOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(distBytes, seqBytes) {
+		t.Fatalf("distributed witness differs from sequential reference:\n--- distributed\n%s--- sequential\n%s", distBytes, seqBytes)
+	}
+	if served != string(seqBytes) {
+		t.Fatalf("witness served over /dist/witness differs from the artifact")
+	}
+	// The sha256 sidecars must agree too: identical bytes, identical hash.
+	distSum, err := os.ReadFile(distOut + ".sha256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSum, err := os.ReadFile(seqOut + ".sha256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1, f2 := strings.Fields(string(distSum)), strings.Fields(string(seqSum)); len(f1) == 0 || len(f2) == 0 || f1[0] != f2[0] {
+		t.Fatalf("sha256 sidecars differ: %q vs %q", distSum, seqSum)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return string(body)
+}
+
+// TestCorruptChunkServesAreRetried: the coordinator is scripted to serve
+// its first chunk GETs corrupted; the worker must reject each copy and
+// re-request until a clean one arrives, and the witness must still match
+// the reference.
+func TestCorruptChunkServesAreRetried(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	work := t.TempDir()
+	bin := buildBinary(t, work)
+	seqOut := filepath.Join(work, "seq.txt")
+	distOut := filepath.Join(work, "dist.txt")
+	runBinary(t, bin,
+		"-dist-sequential", "-protocol", "diskrace", "-n", "3",
+		"-dist-max-depth", "5", "-witness-out", seqOut)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	coord := startCoordinator(t, ctx, bin,
+		"-coordinator", "127.0.0.1:0", "-protocol", "diskrace", "-n", "3",
+		"-dist-slices", "2", "-dist-max-depth", "5", "-dist-lease", "2s",
+		"-dist-linger", "30s", "-dist-corrupt-gets", "2", "-witness-out", distOut)
+
+	worker := exec.CommandContext(ctx, bin, "-shard", coord.url, "-shard-id", "w0")
+	var workerErr bytes.Buffer
+	worker.Stderr = &workerErr
+	if err := worker.Run(); err != nil {
+		t.Fatalf("worker: %v\n%s", err, &workerErr)
+	}
+	metrics := httpGet(t, coord.url+"/metrics")
+	m := regexp.MustCompile(`(?m)^dist_chunks_served_corrupt (\d+)`).FindStringSubmatch(metrics)
+	if m == nil || m[1] == "0" {
+		t.Fatalf("injector never served a corrupt chunk:\n%s", metrics)
+	}
+	if err := coord.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	_ = coord.cmd.Wait()
+	distBytes, err := os.ReadFile(distOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqBytes, err := os.ReadFile(seqOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(distBytes, seqBytes) {
+		t.Fatalf("witness after corrupt serves differs:\n--- distributed\n%s--- sequential\n%s", distBytes, seqBytes)
+	}
+}

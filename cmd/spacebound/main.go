@@ -9,6 +9,18 @@
 //	           [-debug-addr host:port] [-trace-out trace.jsonl]
 //	           [-checkpoint-dir dir] [-checkpoint-every 30s] [-resume] [-spill-budget bytes]
 //	           [-witness-out witness.txt] [-server http://host:port]
+//	spacebound -coordinator host:port [-protocol p] [-n n] [-dist-slices 3]
+//	           [-dist-max-depth 0] [-dist-lease 2s] [-dist-linger 2s] [-witness-out w.txt]
+//	spacebound -shard http://host:port [-shard-id id] [-shard-fault kill@level=3]
+//	spacebound -dist-sequential [-protocol p] [-n n] [-dist-max-depth 0] [-witness-out w.txt]
+//
+// The three dist modes run the crash-tolerant sharded exploration
+// (internal/dist): -coordinator hosts the lease/barrier coordinator (plus
+// /metrics and /progress with per-shard health) and prints the merged
+// witness when the run completes; -shard joins a coordinator as one shard
+// worker, with -shard-fault scripting a mid-run crash or stall for chaos
+// testing; -dist-sequential runs the single-process reference whose witness
+// a distributed run must reproduce byte for byte.
 //
 // -server submits the construction to a running provesrv instance instead
 // of executing it locally: the job is posted to the server's /jobs API,
@@ -108,7 +120,44 @@ func run() error {
 	spillBudget := flag.Int64("spill-budget", 0, "approximate in-memory frontier budget in bytes; beyond it cold chunks spill to <checkpoint-dir>/spill (0 = never spill)")
 	witnessOut := flag.String("witness-out", "", "write the rendered witness here atomically, with a .sha256 sidecar (empty = off)")
 	serverURL := flag.String("server", "", "submit to a provesrv instance at this base URL instead of running locally")
+	df := distFlags{}
+	flag.StringVar(&df.coordinator, "coordinator", "", "host a distributed-exploration coordinator on this address instead of running the adversary (uses -protocol, -n and the -dist-* flags)")
+	flag.StringVar(&df.shard, "shard", "", "join the coordinator at this base URL as a shard worker instead of running the adversary")
+	flag.BoolVar(&df.sequential, "dist-sequential", false, "run the single-process reference of a distributed exploration and print its witness")
+	flag.StringVar(&df.shardID, "shard-id", "", "this shard worker's id (default shard-<pid>)")
+	flag.StringVar(&df.shardFault, "shard-fault", "", "scripted worker fault: kill@level=L or stall@level=L:dur=D")
+	flag.IntVar(&df.slices, "dist-slices", 3, "fingerprint slices of the coordinated run")
+	flag.IntVar(&df.maxDepth, "dist-max-depth", 0, "depth cap of the coordinated run (0 = unbounded)")
+	flag.DurationVar(&df.lease, "dist-lease", 2*time.Second, "shard lease; a worker silent for longer loses its slices")
+	flag.DurationVar(&df.linger, "dist-linger", 2*time.Second, "how long the coordinator keeps serving after the run completes")
+	flag.IntVar(&df.corruptGets, "dist-corrupt-gets", 0, "serve the first N chunk GETs corrupted (fault injection for tests)")
 	flag.Parse()
+
+	if df.coordinator != "" || df.shard != "" || df.sequential {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		switch {
+		case df.coordinator != "":
+			scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr, RecordEvery: *recordEvery})
+			if err != nil {
+				return err
+			}
+			defer func() {
+				if err := stopObs(); err != nil {
+					fmt.Fprintln(os.Stderr, "spacebound: observability shutdown:", err)
+				}
+			}()
+			return runCoordinator(df, *protocol, *n, scope, *witnessOut)
+		case df.shard != "":
+			return runShard(ctx, df, nil)
+		default:
+			return runDistSequential(ctx, df, *protocol, *n, *witnessOut)
+		}
+	}
 
 	if *serverURL != "" {
 		ctx := context.Background()

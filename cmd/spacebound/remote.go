@@ -6,8 +6,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -126,26 +128,92 @@ func getJSON(ctx context.Context, url string, v any) error {
 	return json.Unmarshal(data, v)
 }
 
-// getBody fetches one resource, failing on any non-200.
-func getBody(ctx context.Context, url string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
+// Retry tuning for GETs against the server: a status poll must survive a
+// flaky network or a briefly overloaded server instead of aborting the
+// whole wait, so transient failures — connection errors, 5xx, 429 — are
+// retried with capped exponential backoff and seeded jitter (the same
+// shape the server's own job supervisor uses). Retry-After, when the
+// server sends one, floors the wait. Anything 4xx is terminal: resending
+// the same request cannot fix it.
+const (
+	getRetryBase     = 250 * time.Millisecond
+	getRetryMax      = 4 * time.Second
+	getRetryAttempts = 6
+)
+
+// getJitter is the seeded jitter source for GET retries.
+var getJitter = rand.New(rand.NewSource(int64(os.Getpid())*1e9 + time.Now().UnixNano()%1e9))
+
+// getRetryDelay computes the wait before retry attempt (1-based): doubling
+// from getRetryBase, capped at getRetryMax, plus up to 25% jitter.
+func getRetryDelay(attempt int) time.Duration {
+	d := getRetryBase
+	for i := 1; i < attempt && d < getRetryMax; i++ {
+		d *= 2
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, err
+	if d > getRetryMax {
+		d = getRetryMax
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(data))
-	}
-	return data, nil
+	return d + time.Duration(getJitter.Int63n(int64(d/4)+1))
 }
+
+// getBody fetches one resource, retrying transient failures.
+func getBody(ctx context.Context, url string) ([]byte, error) {
+	var lastErr error
+	for attempt := 1; attempt <= getRetryAttempts; attempt++ {
+		if attempt > 1 {
+			delay := getRetryDelay(attempt - 1)
+			var ra retryAfterError
+			if errors.As(lastErr, &ra) && ra.wait > delay {
+				delay = ra.wait
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
+				return nil, fmt.Errorf("%w: retrying %s: %v", errInterrupted, url, lastErr)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		data, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("GET %s: %s", url, resp.Status)
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					lastErr = retryAfterError{err: lastErr, wait: time.Duration(secs) * time.Second}
+				}
+			}
+			continue
+		case resp.StatusCode != http.StatusOK:
+			return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(data))
+		case readErr != nil:
+			lastErr = fmt.Errorf("GET %s: reading body: %w", url, readErr)
+			continue
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("GET %s: giving up after %d attempts: %w", url, getRetryAttempts, lastErr)
+}
+
+// retryAfterError carries a server-provided Retry-After floor through the
+// retry loop.
+type retryAfterError struct {
+	err  error
+	wait time.Duration
+}
+
+func (e retryAfterError) Error() string { return e.err.Error() }
+func (e retryAfterError) Unwrap() error { return e.err }
 
 // sleepCtx sleeps d or returns the context's error if it fires first.
 func sleepCtx(ctx context.Context, d time.Duration) error {

@@ -1,0 +1,68 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Exchange-chunk framing for the distributed engine (internal/dist). A
+// chunk is the unit shard workers ship across process boundaries — a run of
+// frontier entries addressed from one fingerprint slice to another — and it
+// travels inside the same checksummed segment format checkpoints use on
+// disk: a magic header, then a JSON chunk header as record 0 and the opaque
+// body as record 1, each record carrying its own sha256. A chunk torn by a
+// dying connection or corrupted in flight therefore fails DecodeChunk with
+// an error wrapping ErrCorrupt, exactly like a torn segment file, and is
+// never partially ingested.
+
+// ChunkHeader identifies an exchange chunk: what it carries (Kind), the BFS
+// level it belongs to, and the source and destination slices.
+type ChunkHeader struct {
+	Kind  string `json:"kind"`
+	Level int    `json:"level"`
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	// Count is the number of entries in the body, declared redundantly so a
+	// receiver can sanity-check the decode.
+	Count int `json:"count"`
+}
+
+// EncodeChunk frames header and body as a self-verifying chunk.
+func EncodeChunk(h ChunkHeader, body []byte) ([]byte, error) {
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: chunk header: %w", err)
+	}
+	var buf bytes.Buffer
+	sw, err := NewWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Append(hdr); err != nil {
+		return nil, err
+	}
+	if err := sw.Append(body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeChunk verifies and unpacks a chunk produced by EncodeChunk. Any
+// malformation — bad magic, torn tail, checksum mismatch, missing records —
+// returns an error wrapping ErrCorrupt; the body is returned only when
+// every byte verified.
+func DecodeChunk(data []byte) (ChunkHeader, []byte, error) {
+	recs, err := ReadSegment(bytes.NewReader(data))
+	if err != nil {
+		return ChunkHeader{}, nil, err
+	}
+	if len(recs) != 2 {
+		return ChunkHeader{}, nil, corruptf("chunk has %d records, want 2", len(recs))
+	}
+	var h ChunkHeader
+	if err := json.Unmarshal(recs[0], &h); err != nil {
+		return ChunkHeader{}, nil, corruptf("chunk header (%v)", err)
+	}
+	return h, recs[1], nil
+}

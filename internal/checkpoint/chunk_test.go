@@ -1,0 +1,60 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestChunkRoundTrip pins the exchange-chunk framing.
+func TestChunkRoundTrip(t *testing.T) {
+	h := ChunkHeader{Kind: "frontier", Level: 3, From: 1, To: 2, Count: 7}
+	body := []byte("opaque frontier entries")
+	data, err := EncodeChunk(h, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotH, gotBody, err := DecodeChunk(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Fatalf("header %+v, want %+v", gotH, h)
+	}
+	if !bytes.Equal(gotBody, body) {
+		t.Fatalf("body %q, want %q", gotBody, body)
+	}
+}
+
+// TestChunkBitFlip flips every bit of an encoded chunk and requires every
+// flip to fail DecodeChunk with ErrCorrupt — a corrupted exchange chunk
+// must never be partially ingested by a shard worker.
+func TestChunkBitFlip(t *testing.T) {
+	data, err := EncodeChunk(ChunkHeader{Kind: "frontier", Level: 1, From: 0, To: 1, Count: 2}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for byteIdx := range data {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(data)
+			mut[byteIdx] ^= 1 << bit
+			if _, _, err := DecodeChunk(mut); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: err = %v, want ErrCorrupt", byteIdx, bit, err)
+			}
+		}
+	}
+}
+
+// TestChunkTornTail truncates the chunk at every length; every prefix must
+// fail typed.
+func TestChunkTornTail(t *testing.T) {
+	data, err := EncodeChunk(ChunkHeader{Kind: "frontier", Level: 2, From: 2, To: 0, Count: 1}, []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, _, err := DecodeChunk(data[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncate at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}

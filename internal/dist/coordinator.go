@@ -1,0 +1,536 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/explore"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// Phase names of the per-level two-phase barrier.
+const (
+	phaseExpand = "expand"
+	phaseIngest = "ingest"
+	phaseDone   = "done"
+)
+
+// sliceInfo is the coordinator's book-keeping for one fingerprint slice.
+type sliceInfo struct {
+	owner     string // worker id, "" while unowned
+	grantedAt time.Time
+
+	// ckpt is the slice's newest checkpoint (segment bytes) and the level
+	// it was taken at. Reassignment hands these to the new owner.
+	ckpt      []byte
+	ckptLevel int
+	hasCkpt   bool
+	everOwned bool
+	epoch     int
+
+	// Per-current-level barrier marks and stats. Posts are idempotent
+	// overwrites: a redone expansion or ingest produces the same
+	// deterministic values, so the last write is as good as the first.
+	expanded bool
+	ingested bool
+	steps    int64
+	fresh    int64
+	digest   explore.Fingerprint
+
+	reassigns int
+}
+
+// chunkKey addresses one exchange chunk.
+type chunkKey struct{ level, from, to int }
+
+// Coordinator owns the authoritative state of a distributed run: slice
+// leases, the level barrier, retained exchange chunks and checkpoints, and
+// the aggregated per-level witness stats. It runs no goroutines of its
+// own — leases are expired lazily on every worker request — and its whole
+// state sits behind one mutex, which the modest request rate (a handful of
+// polls and posts per worker per level) never contends.
+type Coordinator struct {
+	spec   Spec
+	rootFP explore.Fingerprint
+	scope  *obs.Scope
+	faults *faults.OpInjector
+
+	mu      sync.Mutex
+	workers map[string]time.Time // worker id -> last heard from
+	slices  []sliceInfo
+	level   int
+	levels  []LevelStat
+	steps   int64
+	chunks  map[chunkKey][]byte
+	done    bool
+	witness []byte
+	doneCh  chan struct{}
+
+	// levelStart anchors the exchange-latency histogram: each chunk post
+	// is observed as time-since-level-start, so the distribution shows how
+	// long a level's frontier exchange actually takes (and a reassignment
+	// mid-level shows up as a fat tail, not a lost sample).
+	levelStart time.Time
+
+	reassignTotal int64
+}
+
+// ExchangeLatencyBoundsMicros buckets dist_exchange_us, the time from a
+// level's start to each exchange-chunk arrival: sub-millisecond for
+// in-memory test runs up to minutes for reassignment-delayed levels.
+var ExchangeLatencyBoundsMicros = []int64{1000, 5000, 10000, 50000, 100000, 500000, 1000000, 5000000, 30000000, 120000000}
+
+// NewCoordinator builds a coordinator for the run described by spec. root
+// and opts must describe the same exploration every worker will run; the
+// coordinator itself only ever fingerprints the root (level 0 is seeded
+// here, before any worker exists).
+func NewCoordinator(spec Spec, rootFP explore.Fingerprint, scope *obs.Scope) (*Coordinator, error) {
+	if spec.Slices < 1 {
+		return nil, fmt.Errorf("dist: %d slices", spec.Slices)
+	}
+	if spec.LeaseMS <= 0 {
+		return nil, fmt.Errorf("dist: lease %dms", spec.LeaseMS)
+	}
+	if spec.FPVersion == 0 {
+		spec.FPVersion = explore.FingerprintVersion
+	}
+	c := &Coordinator{
+		spec:    spec,
+		rootFP:  rootFP,
+		scope:   scope,
+		workers: make(map[string]time.Time),
+		slices:  make([]sliceInfo, spec.Slices),
+		levels:  []LevelStat{{Fresh: 1, Digest: rootFP}},
+		chunks:  make(map[chunkKey][]byte),
+		doneCh:  make(chan struct{}),
+
+		levelStart: time.Now(),
+	}
+	scope.Gauge("dist_slices").Set(int64(spec.Slices))
+	// An empty space (MaxDepth 0 is unbounded, so only a pathological
+	// spec hits this) still needs a consistent start.
+	if spec.MaxDepth < 0 {
+		return nil, fmt.Errorf("dist: negative max depth")
+	}
+	return c, nil
+}
+
+// SetFaults attaches an operation-fault injector; the tests use it to
+// corrupt served chunks ("dist.chunk.get") and prove the workers reject
+// and re-request them.
+func (c *Coordinator) SetFaults(inj *faults.OpInjector) { c.faults = inj }
+
+// Spec returns the run description.
+func (c *Coordinator) Spec() Spec { return c.spec }
+
+// Done is closed when the run completes.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Witness returns the rendered witness, or an error while the run is still
+// in flight.
+func (c *Coordinator) Witness() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.done {
+		return nil, fmt.Errorf("dist: run still at level %d (%s)", c.level, c.phaseLocked())
+	}
+	return c.witness, nil
+}
+
+// lease returns the lease duration.
+func (c *Coordinator) lease() time.Duration {
+	return time.Duration(c.spec.LeaseMS) * time.Millisecond
+}
+
+// phaseLocked derives the current phase from the barrier marks, so a
+// reassignment that clears a slice's expand mark regresses the phase
+// automatically and the redo is awaited like the original work.
+func (c *Coordinator) phaseLocked() string {
+	if c.done {
+		return phaseDone
+	}
+	for i := range c.slices {
+		if !c.slices[i].expanded {
+			return phaseExpand
+		}
+	}
+	return phaseIngest
+}
+
+// heartbeatLocked renews w's lease and expires everyone else's.
+func (c *Coordinator) heartbeatLocked(w string, now time.Time) {
+	c.workers[w] = now
+	lease := c.lease()
+	for id, seen := range c.workers {
+		if id == w || now.Sub(seen) <= lease {
+			continue
+		}
+		delete(c.workers, id)
+		c.scope.Event("dist_lease_expired")
+		for s := range c.slices {
+			if c.slices[s].owner == id {
+				c.revokeLocked(s)
+			}
+		}
+	}
+	c.scope.Gauge("dist_workers_live").Set(int64(len(c.workers)))
+}
+
+// revokeLocked returns a slice to the pool and clears its current-level
+// barrier marks so the next owner redoes the level's work. Chunks the dead
+// owner posted are kept: reposts overwrite them with identical bytes.
+func (c *Coordinator) revokeLocked(s int) {
+	sl := &c.slices[s]
+	sl.owner = ""
+	sl.expanded = false
+	sl.ingested = false
+	sl.steps = 0
+	sl.fresh = 0
+	sl.digest = explore.Fingerprint{}
+}
+
+// grantLocked hands at most one unowned slice to w. One per poll keeps the
+// initial distribution spread across however many workers attach, while a
+// lone worker still accumulates every slice over successive polls. A
+// regrant of a slice that ever had an owner counts as a reassignment.
+func (c *Coordinator) grantLocked(w string, now time.Time) {
+	for s := range c.slices {
+		sl := &c.slices[s]
+		if sl.owner != "" {
+			continue
+		}
+		if sl.everOwned {
+			sl.reassigns++
+			c.reassignTotal++
+			c.scope.Counter("dist_reassigns").Add(1)
+		}
+		sl.owner = w
+		sl.grantedAt = now
+		sl.everOwned = true
+		sl.epoch++
+		c.scope.Event("dist_grant")
+		return
+	}
+}
+
+// pollSlice is one slice's entry in a poll response. Epoch fences grants:
+// it bumps on every grant, so a worker that was silently revoked and later
+// regranted the same slice (its local state possibly stale by then) sees
+// the epoch change and rebuilds from the checkpoint instead of trusting
+// memory. Expanded/Ingested are the coordinator's authoritative barrier
+// marks — cleared on revocation, so the worker knows exactly what the
+// current level still needs from it.
+type pollSlice struct {
+	Slice     int  `json:"slice"`
+	Epoch     int  `json:"epoch"`
+	CkptLevel int  `json:"ckpt_level"`
+	HasCkpt   bool `json:"has_ckpt"`
+	Expanded  bool `json:"expanded"`
+	Ingested  bool `json:"ingested"`
+}
+
+// pollResponse is the authoritative answer to a worker poll: the barrier
+// position and the full set of slices the worker currently leases.
+type pollResponse struct {
+	Level  int         `json:"level"`
+	Phase  string      `json:"phase"`
+	Done   bool        `json:"done"`
+	Slices []pollSlice `json:"slices"`
+}
+
+// poll is a worker's heartbeat + work request.
+func (c *Coordinator) poll(w string) pollResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heartbeatLocked(w, now)
+	if !c.done {
+		c.grantLocked(w, now)
+	}
+	resp := pollResponse{Level: c.level, Phase: c.phaseLocked(), Done: c.done}
+	for s := range c.slices {
+		if sl := &c.slices[s]; sl.owner == w {
+			resp.Slices = append(resp.Slices, pollSlice{
+				Slice:     s,
+				Epoch:     sl.epoch,
+				CkptLevel: sl.ckptLevel,
+				HasCkpt:   sl.hasCkpt,
+				Expanded:  sl.expanded,
+				Ingested:  sl.ingested,
+			})
+		}
+	}
+	return resp
+}
+
+// heartbeat renews the worker's lease without granting work; workers call
+// it from inside long expansions so a big level does not cost them their
+// slices.
+func (c *Coordinator) heartbeat(w string) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heartbeatLocked(w, now)
+}
+
+// errNotOwner is mapped to HTTP 409 by the handler: the poster's lease on
+// the slice is gone (a zombie past its stall, or a worker racing a
+// revocation). The worker drops the slice; the rightful owner's posts are
+// the ones that count.
+type errNotOwner struct{ slice int }
+
+func (e errNotOwner) Error() string { return fmt.Sprintf("dist: not the owner of slice %d", e.slice) }
+
+// checkOwnerLocked validates w's lease on slice s.
+func (c *Coordinator) checkOwnerLocked(w string, s int) error {
+	if s < 0 || s >= len(c.slices) {
+		return fmt.Errorf("dist: no slice %d", s)
+	}
+	if c.slices[s].owner != w {
+		return errNotOwner{slice: s}
+	}
+	return nil
+}
+
+// putCheckpoint stores a slice's level checkpoint.
+func (c *Coordinator) putCheckpoint(w string, s, level int, body []byte) error {
+	// Validate before locking: a torn upload must never become the
+	// recovery point.
+	ck, err := DecodeSliceCheckpoint(body)
+	if err != nil {
+		return err
+	}
+	if ck.Slice != s || ck.Level != level {
+		return fmt.Errorf("dist: checkpoint body is slice %d level %d, request says %d/%d", ck.Slice, ck.Level, s, level)
+	}
+	if ck.FPVersion != c.spec.FPVersion {
+		return fmt.Errorf("dist: checkpoint fingerprints are v%d, run uses v%d", ck.FPVersion, c.spec.FPVersion)
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heartbeatLocked(w, now)
+	if err := c.checkOwnerLocked(w, s); err != nil {
+		return err
+	}
+	sl := &c.slices[s]
+	sl.ckpt = body
+	sl.ckptLevel = level
+	sl.hasCkpt = true
+	c.scope.Counter("dist_ckpt_bytes").Add(int64(len(body)))
+	return nil
+}
+
+// getCheckpoint serves a slice's newest checkpoint to its (new) owner.
+func (c *Coordinator) getCheckpoint(s int) ([]byte, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s < 0 || s >= len(c.slices) || !c.slices[s].hasCkpt {
+		return nil, 0, fmt.Errorf("dist: no checkpoint for slice %d", s)
+	}
+	return c.slices[s].ckpt, c.slices[s].ckptLevel, nil
+}
+
+// putChunk verifies and stores one exchange chunk. The bytes are decoded
+// on receipt — a torn or corrupted upload is rejected with a typed error
+// and never stored, so readers can trust every stored chunk.
+func (c *Coordinator) putChunk(w string, body []byte) error {
+	h, raw, err := checkpoint.DecodeChunk(body)
+	if err != nil {
+		c.scope.Counter("dist_chunks_rejected").Add(1)
+		return err
+	}
+	entries, err := DecodeEntries(raw)
+	if err != nil {
+		c.scope.Counter("dist_chunks_rejected").Add(1)
+		return err
+	}
+	if h.Kind != chunkKind || len(entries) != h.Count {
+		c.scope.Counter("dist_chunks_rejected").Add(1)
+		return fmt.Errorf("dist: chunk kind %q count %d does not match %d entries", h.Kind, h.Count, len(entries))
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heartbeatLocked(w, now)
+	if err := c.checkOwnerLocked(w, h.From); err != nil {
+		return err
+	}
+	if h.Level != c.level {
+		return fmt.Errorf("dist: chunk for level %d, run is at %d", h.Level, c.level)
+	}
+	key := chunkKey{level: h.Level, from: h.From, to: h.To}
+	c.chunks[key] = body
+	c.scope.Counter("dist_chunks_posted").Add(1)
+	c.scope.Counter("dist_chunk_bytes").Add(int64(len(body)))
+	c.scope.Histogram("dist_exchange_us", ExchangeLatencyBoundsMicros).Observe(now.Sub(c.levelStart).Microseconds())
+	return nil
+}
+
+// chunkSources lists the from-slices with a stored chunk addressed to
+// slice `to` at the level.
+func (c *Coordinator) chunkSources(level, to int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var froms []int
+	for from := 0; from < len(c.slices); from++ {
+		if _, ok := c.chunks[chunkKey{level: level, from: from, to: to}]; ok {
+			froms = append(froms, from)
+		}
+	}
+	return froms
+}
+
+// getChunk serves one stored chunk. The "dist.chunk.get" fault op, when
+// scripted, serves a copy with one byte flipped — the wire-corruption the
+// workers' verified decode must catch and retry past.
+func (c *Coordinator) getChunk(level, from, to int) ([]byte, error) {
+	c.mu.Lock()
+	body, ok := c.chunks[chunkKey{level: level, from: from, to: to}]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dist: no chunk level %d %d->%d", level, from, to)
+	}
+	if err := c.faults.Hit("dist.chunk.get"); err != nil {
+		mut := make([]byte, len(body))
+		copy(mut, body)
+		if len(mut) > 0 {
+			mut[len(mut)/2] ^= 0x40
+		}
+		c.scope.Counter("dist_chunks_served_corrupt").Add(1)
+		return mut, nil
+	}
+	return body, nil
+}
+
+// expanded records a slice's expand-done for the level, with the steps its
+// expansion examined.
+func (c *Coordinator) expanded(w string, s, level int, steps int64) error {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heartbeatLocked(w, now)
+	if err := c.checkOwnerLocked(w, s); err != nil {
+		return err
+	}
+	if level != c.level {
+		return fmt.Errorf("dist: expand-done for level %d, run is at %d", level, c.level)
+	}
+	sl := &c.slices[s]
+	sl.expanded = true
+	sl.steps = steps
+	return nil
+}
+
+// ingested records a slice's ingest-done for the level: how many fresh
+// configurations it accepted at depth level+1 and their XOR digest. When
+// the last slice posts, the level advances.
+func (c *Coordinator) ingested(w string, s, level int, fresh int64, digest explore.Fingerprint) error {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heartbeatLocked(w, now)
+	if err := c.checkOwnerLocked(w, s); err != nil {
+		return err
+	}
+	if level != c.level {
+		return fmt.Errorf("dist: ingest-done for level %d, run is at %d", level, c.level)
+	}
+	if c.phaseLocked() != phaseIngest {
+		return fmt.Errorf("dist: ingest-done during %s phase", c.phaseLocked())
+	}
+	sl := &c.slices[s]
+	sl.ingested = true
+	sl.fresh = fresh
+	sl.digest = digest
+	c.maybeAdvanceLocked()
+	return nil
+}
+
+// maybeAdvanceLocked closes the level once every slice has expanded and
+// ingested: aggregate the stats, prune chunks older than the retention
+// window (the previous level — a reassigned slice's checkpoint is never
+// older than that), and either start the next level or finish the run.
+func (c *Coordinator) maybeAdvanceLocked() {
+	if c.done || c.phaseLocked() != phaseIngest {
+		return
+	}
+	var fresh, steps int64
+	var digest explore.Fingerprint
+	for i := range c.slices {
+		sl := &c.slices[i]
+		if !sl.ingested {
+			return
+		}
+		fresh += sl.fresh
+		steps += sl.steps
+		digest[0] ^= sl.digest[0]
+		digest[1] ^= sl.digest[1]
+	}
+	c.steps += steps
+	// A level that ingested nothing fresh is the run ending, not a level:
+	// the sequential reference records no empty depth, and the witnesses
+	// must match byte for byte.
+	if fresh > 0 {
+		c.levels = append(c.levels, LevelStat{Fresh: fresh, Digest: digest})
+	}
+	for i := range c.slices {
+		sl := &c.slices[i]
+		sl.expanded = false
+		sl.ingested = false
+		sl.steps = 0
+		sl.fresh = 0
+		sl.digest = explore.Fingerprint{}
+	}
+	next := c.level + 1
+	for key := range c.chunks {
+		if key.level < next-1 {
+			delete(c.chunks, key)
+		}
+	}
+	c.scope.Event("dist_level_done")
+	if fresh == 0 || (c.spec.MaxDepth > 0 && next >= c.spec.MaxDepth) {
+		c.done = true
+		c.witness = RenderWitness(c.spec, c.levels, c.steps)
+		c.scope.Gauge("dist_done").Set(1)
+		close(c.doneCh)
+		return
+	}
+	c.level = next
+	c.levelStart = time.Now()
+	c.scope.Gauge("dist_level").Set(int64(next))
+}
+
+// ShardHealth reports per-slice liveness for /progress: the owning worker,
+// the slice's checkpoint level, its lease age, and how many times the
+// slice has been reassigned. One endpoint diagnoses a stalled distributed
+// run.
+func (c *Coordinator) ShardHealth() []obs.ShardHealth {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phase := c.phaseLocked()
+	out := make([]obs.ShardHealth, len(c.slices))
+	for s := range c.slices {
+		sl := &c.slices[s]
+		h := obs.ShardHealth{
+			Slice:     s,
+			Worker:    sl.owner,
+			Level:     c.level,
+			Phase:     phase,
+			Reassigns: sl.reassigns,
+		}
+		if sl.owner != "" {
+			if seen, ok := c.workers[sl.owner]; ok {
+				h.LeaseAgeSec = now.Sub(seen).Seconds()
+			}
+		} else {
+			h.LeaseAgeSec = -1
+		}
+		out[s] = h
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/explore"
+)
+
+func sampleEntries() []Entry {
+	return []Entry{
+		{FP: explore.Fingerprint{0x0102030405060708, 0x1112131415161718}},
+		{FP: explore.Fingerprint{0xdeadbeef, 0xcafe}, Path: []uint32{1, 2, 300000}},
+		{FP: explore.Fingerprint{^uint64(0), 0}, Path: []uint32{0}},
+	}
+}
+
+func TestEntriesRoundTrip(t *testing.T) {
+	want := sampleEntries()
+	got, err := DecodeEntries(AppendEntries(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].FP != want[i].FP || len(got[i].Path) != len(want[i].Path) {
+			t.Fatalf("entry %d: %+v, want %+v", i, got[i], want[i])
+		}
+		for j := range want[i].Path {
+			if got[i].Path[j] != want[i].Path[j] {
+				t.Fatalf("entry %d move %d: %d, want %d", i, j, got[i].Path[j], want[i].Path[j])
+			}
+		}
+	}
+}
+
+// TestFrontierChunkBitFlip flips every bit of an encoded exchange chunk:
+// every flip must be rejected with an error wrapping checkpoint.ErrCorrupt
+// (the satellite guarantee — a torn or corrupted exchange is never
+// partially ingested).
+func TestFrontierChunkBitFlip(t *testing.T) {
+	data, err := EncodeFrontierChunk(2, 1, 0, sampleEntries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrontierChunk(data, 2, 1, 0); err != nil {
+		t.Fatalf("pristine chunk rejected: %v", err)
+	}
+	for byteIdx := range data {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(data)
+			mut[byteIdx] ^= 1 << bit
+			if _, err := DecodeFrontierChunk(mut, 2, 1, 0); !errors.Is(err, checkpoint.ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %d: err = %v, want ErrCorrupt", byteIdx, bit, err)
+			}
+		}
+	}
+}
+
+// TestFrontierChunkIdentityMismatch: an intact chunk claimed for a
+// different (level, from, to) is rejected too — a stale chunk must not be
+// ingested as the current level's.
+func TestFrontierChunkIdentityMismatch(t *testing.T) {
+	data, err := EncodeFrontierChunk(2, 1, 0, sampleEntries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range [][3]int{{3, 1, 0}, {2, 0, 0}, {2, 1, 2}} {
+		if _, err := DecodeFrontierChunk(data, want[0], want[1], want[2]); err == nil {
+			t.Fatalf("chunk accepted as level %d %d->%d", want[0], want[1], want[2])
+		}
+	}
+}
+
+func TestSliceCheckpointRoundTrip(t *testing.T) {
+	ck := &SliceCheckpoint{
+		Slice:     1,
+		Level:     4,
+		FPVersion: explore.FingerprintVersion,
+		Visited:   []explore.Fingerprint{{9, 9}, {1, 2}, {1, 1}},
+		Frontier:  sampleEntries(),
+	}
+	data, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSliceCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slice != ck.Slice || got.Level != ck.Level || got.FPVersion != ck.FPVersion {
+		t.Fatalf("meta %+v, want %+v", got, ck)
+	}
+	if len(got.Visited) != len(ck.Visited) || len(got.Frontier) != len(ck.Frontier) {
+		t.Fatalf("decoded %d visited / %d frontier, want %d / %d",
+			len(got.Visited), len(got.Frontier), len(ck.Visited), len(ck.Frontier))
+	}
+	// Encoding sorts the visited set, so a checkpoint's bytes are a pure
+	// function of the state, whatever map-iteration order produced it.
+	data2, err := (&SliceCheckpoint{
+		Slice: 1, Level: 4, FPVersion: ck.FPVersion,
+		Visited:  []explore.Fingerprint{{1, 1}, {1, 2}, {9, 9}},
+		Frontier: sampleEntries(),
+	}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("checkpoint bytes depend on visited order")
+	}
+	// Corruption anywhere fails typed.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeSliceCheckpoint(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestRenderWitnessShape(t *testing.T) {
+	spec := Spec{Protocol: "diskrace", N: 3, MaxDepth: 4, FPVersion: 2}
+	levels := []LevelStat{
+		{Fresh: 1, Digest: explore.Fingerprint{0xa, 0xb}},
+		{Fresh: 7, Digest: explore.Fingerprint{0x1, 0x2}},
+	}
+	got := string(RenderWitness(spec, levels, 21))
+	want := "distributed reachability witness\n" +
+		"protocol: diskrace\n" +
+		"n: 3\n" +
+		"fingerprint: v2\n" +
+		"max depth: 4\n" +
+		"level 0: configs=1 digest=000000000000000a000000000000000b\n" +
+		"level 1: configs=7 digest=00000000000000010000000000000002\n" +
+		"total configs: 8\n" +
+		"total steps: 21\n" +
+		"depth: 1\n"
+	if got != want {
+		t.Fatalf("witness:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,46 @@
+package explore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Fingerprint-space partitioning for the distributed engine (internal/dist):
+// a run sharded over worker processes splits the canonical fingerprint space
+// into slices, and every configuration belongs to exactly one slice — the
+// one that owns its fingerprint. The partition is a pure function of the
+// fingerprint, so two processes never disagree about ownership and a
+// reassigned slice is rebuilt from the same membership rule that filled it.
+
+// ShardOf maps a canonical fingerprint to its owning slice in an n-way
+// partition. Fingerprints are uniform 128-bit hashes, so a plain modulus
+// balances the slices; fp[1] is used because fp[0]'s low bits already pick
+// the visited-set stripe and the two should stay independent.
+func ShardOf(fp Fingerprint, slices int) int {
+	if slices <= 1 {
+		return 0
+	}
+	return int(fp[1] % uint64(slices))
+}
+
+// FingerprintBytes is the wire width of one fingerprint: two little-endian
+// uint64 words.
+const FingerprintBytes = 16
+
+// AppendBinary appends the fingerprint's 16-byte wire encoding to dst.
+func (fp Fingerprint) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, fp[0])
+	return binary.LittleEndian.AppendUint64(dst, fp[1])
+}
+
+// FingerprintFromBytes decodes the 16-byte wire encoding produced by
+// AppendBinary.
+func FingerprintFromBytes(b []byte) (Fingerprint, error) {
+	if len(b) != FingerprintBytes {
+		return Fingerprint{}, fmt.Errorf("explore: fingerprint is %d bytes, want %d", len(b), FingerprintBytes)
+	}
+	return Fingerprint{
+		binary.LittleEndian.Uint64(b),
+		binary.LittleEndian.Uint64(b[8:]),
+	}, nil
+}

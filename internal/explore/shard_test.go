@@ -1,0 +1,57 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardOfPartition pins the partition's contract: total (every
+// fingerprint owned), stable (same slice every time), in range, and
+// roughly balanced over uniform fingerprints.
+func TestShardOfPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, slices := range []int{1, 2, 3, 5, 8} {
+		counts := make([]int, slices)
+		for i := 0; i < 10000; i++ {
+			fp := Fingerprint{rng.Uint64(), rng.Uint64()}
+			s := ShardOf(fp, slices)
+			if s < 0 || s >= slices {
+				t.Fatalf("ShardOf(%v, %d) = %d out of range", fp, slices, s)
+			}
+			if again := ShardOf(fp, slices); again != s {
+				t.Fatalf("ShardOf not stable: %d then %d", s, again)
+			}
+			counts[s]++
+		}
+		for s, c := range counts {
+			if want := 10000 / slices; c < want/2 || c > want*2 {
+				t.Errorf("slices=%d: slice %d got %d of 10000 fingerprints", slices, s, c)
+			}
+		}
+	}
+	if got := ShardOf(Fingerprint{1, 2}, 0); got != 0 {
+		t.Fatalf("ShardOf with 0 slices = %d, want 0", got)
+	}
+}
+
+// TestFingerprintBinaryRoundTrip pins the 16-byte wire encoding.
+func TestFingerprintBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		fp := Fingerprint{rng.Uint64(), rng.Uint64()}
+		b := fp.AppendBinary(nil)
+		if len(b) != FingerprintBytes {
+			t.Fatalf("encoded to %d bytes, want %d", len(b), FingerprintBytes)
+		}
+		got, err := FingerprintFromBytes(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fp {
+			t.Fatalf("round trip %v -> %v", fp, got)
+		}
+	}
+	if _, err := FingerprintFromBytes(make([]byte, 15)); err == nil {
+		t.Fatal("15-byte decode succeeded")
+	}
+}

@@ -2,7 +2,9 @@ package explore
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -302,26 +304,62 @@ func (g *spillGovernor) maybeSpill(f *frontier) {
 	f.memBytes = 0
 }
 
-// writeSpillChunk writes a count-prefixed uvarint id list, followed — when
-// words is non-nil — by the ids' packed records as little-endian uint64s,
-// to a fresh file in dir. Spill files are transient scratch consumed by the
-// same process — they never survive a crash, so unlike checkpoint segments
-// they carry no checksums or fsync.
+// ErrSpillCorrupt tags any malformation of a spill chunk file — bad magic,
+// truncation, a flipped bit anywhere in the payload, trailing garbage. The
+// read path verifies the whole file against its checksum trailer before
+// parsing a single id, so a corrupt chunk can fail typed but never yield
+// wrong ids or attempt an absurd allocation.
+var ErrSpillCorrupt = errors.New("explore: spill chunk corrupt")
+
+// spillMagic opens every spill chunk file: a human-greppable tag plus a
+// format version byte so `head -c8` identifies the file. Version 2 added
+// the sha256 trailer.
+const spillMagic = "SBSPILL\x02"
+
+// spillFile is the slice of *os.File the spill writer uses. It is a seam
+// for fault injection: the tests swap newSpillFile for one returning a
+// faults.FaultyFile (which satisfies this interface structurally) to prove
+// disk-pressure failures surface as typed errors instead of truncating.
+type spillFile interface {
+	io.Writer
+	Close() error
+	Name() string
+}
+
+// newSpillFile creates a fresh spill chunk file in dir; a test hook.
+var newSpillFile = func(dir string) (spillFile, error) {
+	return os.CreateTemp(dir, "frontier-*.spill")
+}
+
+// writeSpillChunk writes one chunk file in dir:
+//
+//	[8-byte magic][uvarint count][count uvarint ids][words as LE uint64...][sha256 trailer]
+//
+// The trailer digests every preceding byte. Spill files are transient
+// scratch consumed by the same process, so they are not fsynced — but they
+// are checksummed: a disk under pressure that short-writes or flips bits
+// must surface as a typed read error, never as silently wrong frontier ids
+// (the id list steers witness-path replay, so a wrong id corrupts proofs).
 func writeSpillChunk(dir string, ids []int32, words []uint64) (string, int64, error) {
-	f, err := os.CreateTemp(dir, "frontier-*.spill")
+	f, err := newSpillFile(dir)
 	if err != nil {
 		return "", 0, err
 	}
-	bw := bufio.NewWriterSize(f, 1<<16)
+	sum := sha256.New()
+	bw := bufio.NewWriterSize(io.MultiWriter(f, sum), 1<<16)
 	var buf [binary.MaxVarintLen64]byte
 	written := int64(0)
+	_, werr := bw.WriteString(spillMagic)
+	written += int64(len(spillMagic))
 	put := func(v uint64) error {
 		n := binary.PutUvarint(buf[:], v)
 		written += int64(n)
 		_, err := bw.Write(buf[:n])
 		return err
 	}
-	werr := put(uint64(len(ids)))
+	if werr == nil {
+		werr = put(uint64(len(ids)))
+	}
 	for i := 0; werr == nil && i < len(ids); i++ {
 		werr = put(uint64(ids[i]))
 	}
@@ -333,50 +371,78 @@ func writeSpillChunk(dir string, ids []int32, words []uint64) (string, int64, er
 	if werr == nil {
 		werr = bw.Flush()
 	}
+	if werr == nil {
+		// The trailer goes to the file only — it must not digest itself.
+		n, terr := f.Write(sum.Sum(nil))
+		written += int64(n)
+		werr = terr
+	}
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
 	if werr != nil {
 		os.Remove(f.Name())
-		return "", 0, werr
+		return "", 0, fmt.Errorf("explore: spill chunk write: %w", werr)
 	}
 	return f.Name(), written, nil
 }
 
 // readSpillChunk reads a chunk file back into the provided (reusable)
 // slices: the id list, then — when stride > 0 — count*stride packed words.
+// The file is verified against its checksum trailer in full before any
+// parsing; every malformation is reported wrapping ErrSpillCorrupt.
 func readSpillChunk(path string, stride int, ids []int32, words []uint64) ([]int32, []uint64, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, nil, fmt.Errorf("explore: spill chunk %s: %w", path, err)
+	if len(data) < len(spillMagic)+sha256.Size {
+		return nil, nil, fmt.Errorf("%w: %s: %d bytes is shorter than magic+trailer", ErrSpillCorrupt, path, len(data))
+	}
+	if string(data[:len(spillMagic)]) != spillMagic {
+		return nil, nil, fmt.Errorf("%w: %s: bad magic %q", ErrSpillCorrupt, path, data[:len(spillMagic)])
+	}
+	payload := data[:len(data)-sha256.Size]
+	var trailer [sha256.Size]byte
+	copy(trailer[:], data[len(payload):])
+	if sha256.Sum256(payload) != trailer {
+		return nil, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrSpillCorrupt, path)
+	}
+	body := payload[len(spillMagic):]
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("%w: %s: count", ErrSpillCorrupt, path)
+	}
+	body = body[n:]
+	if count > uint64(len(body)) {
+		// Each id takes at least one byte; a count beyond the remaining
+		// bytes cannot be honest (and must not drive an allocation).
+		return nil, nil, fmt.Errorf("%w: %s: count %d exceeds payload", ErrSpillCorrupt, path, count)
 	}
 	for i := uint64(0); i < count; i++ {
-		v, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, nil, fmt.Errorf("explore: spill chunk %s entry %d: %w", path, i, err)
+		v, n := binary.Uvarint(body)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: %s: entry %d", ErrSpillCorrupt, path, i)
 		}
+		body = body[n:]
 		ids = append(ids, int32(v))
 	}
 	if stride > 0 {
-		var wbuf [8]byte
+		want := count * uint64(stride) * 8
+		if uint64(len(body)) != want {
+			return nil, nil, fmt.Errorf("%w: %s: %d word bytes, want %d", ErrSpillCorrupt, path, len(body), want)
+		}
 		for i := uint64(0); i < count*uint64(stride); i++ {
-			if _, err := io.ReadFull(br, wbuf[:]); err != nil {
-				return nil, nil, fmt.Errorf("explore: spill chunk %s word %d: %w", path, i, err)
-			}
-			words = append(words, binary.LittleEndian.Uint64(wbuf[:]))
+			words = append(words, binary.LittleEndian.Uint64(body[i*8:]))
 		}
 	}
+	// stride == 0 tolerates a word tail: readSpillChunkIDs reads packed
+	// files too, and the tail was already checksum-verified above.
 	return ids, words, nil
 }
 
-// readSpillChunkIDs reads only the id-list prefix of a chunk file (both
-// formats share it).
+// readSpillChunkIDs reads and verifies a chunk file, returning only its
+// id-list prefix (both the packed and legacy formats share it).
 func readSpillChunkIDs(path string) ([]int32, error) {
 	ids, _, err := readSpillChunk(path, 0, nil, nil)
 	return ids, err

@@ -1,0 +1,109 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// memFile is an in-memory File for exercising FaultyFile.
+type memFile struct{ buf bytes.Buffer }
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { return nil }
+func (m *memFile) Close() error                { return nil }
+func (m *memFile) Name() string                { return "mem" }
+
+func TestFaultyFileDiskFull(t *testing.T) {
+	m := &memFile{}
+	f := &FaultyFile{F: m, Budget: 10}
+	if n, err := f.Write(make([]byte, 8)); n != 8 || err != nil {
+		t.Fatalf("within budget: n=%d err=%v", n, err)
+	}
+	// This write straddles the budget: the surviving prefix lands, the
+	// error is typed.
+	n, err := f.Write(make([]byte, 8))
+	if n != 2 || !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("straddling write: n=%d err=%v, want 2, ErrDiskFull", n, err)
+	}
+	if n, err := f.Write([]byte{1}); n != 0 || !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("post-budget write: n=%d err=%v", n, err)
+	}
+	if m.buf.Len() != 10 {
+		t.Fatalf("underlying file holds %d bytes, want 10", m.buf.Len())
+	}
+	if f.Written() != 10 {
+		t.Fatalf("Written() = %d, want 10", f.Written())
+	}
+}
+
+func TestFaultyFileShortWrite(t *testing.T) {
+	m := &memFile{}
+	f := &FaultyFile{F: m, ShortWriteAt: 2}
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("second"))
+	if n != 3 || !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("short write: n=%d err=%v, want 3, ErrShortWrite", n, err)
+	}
+	if _, err := f.Write([]byte("third")); err != nil {
+		t.Fatalf("write after the scripted short one failed: %v", err)
+	}
+}
+
+func TestFaultyFileFailSync(t *testing.T) {
+	f := &FaultyFile{F: &memFile{}, FailSync: true}
+	if err := f.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("Sync err = %v, want ErrSyncFailed", err)
+	}
+}
+
+func TestParseShardFault(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *ShardFault
+		ok   bool
+	}{
+		{"", nil, true},
+		{"kill@level=3", &ShardFault{Kind: "kill", Level: 3}, true},
+		{"stall@level=2:dur=500ms", &ShardFault{Kind: "stall", Level: 2, Stall: 500 * time.Millisecond}, true},
+		{"kill", nil, false},
+		{"explode@level=1", nil, false},
+		{"stall@level=1", nil, false}, // stall without duration
+		{"kill@level=-1", nil, false},
+		{"kill@level=x", nil, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseShardFault(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseShardFault(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.want == nil != (got == nil) {
+			t.Errorf("ParseShardFault(%q) = %+v, want %+v", tc.in, got, tc.want)
+			continue
+		}
+		if got != nil && *got != *tc.want {
+			t.Errorf("ParseShardFault(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestShardFaultAt(t *testing.T) {
+	var nilFault *ShardFault
+	if nilFault.At(0) {
+		t.Fatal("nil fault fired")
+	}
+	f := &ShardFault{Kind: "stall", Level: 2, Stall: time.Millisecond}
+	if f.At(1) || !f.At(2) {
+		t.Fatal("At() fired at the wrong level")
+	}
+	start := time.Now()
+	f.Trigger()
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("stall returned early")
+	}
+	nilFault.Trigger() // must be a no-op, not a crash
+}

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Process-level fault plans for distributed shard workers. Where a Plan
+// scripts faults against the processes of a consensus protocol, a
+// ShardFault scripts a fault against the shard worker process itself: die
+// by SIGKILL, or go silent for a while, at a named BFS level. The
+// distributed engine's lease protocol must absorb both — a killed worker's
+// slices are reassigned, a stalled worker stops heartbeating and loses its
+// lease the same way.
+
+// ShardFault is one scripted worker-process fault.
+type ShardFault struct {
+	// Kind is "kill" (SIGKILL self) or "stall" (block silently for Stall).
+	Kind string
+	// Level is the BFS level at which the fault fires.
+	Level int
+	// Stall is how long a "stall" fault blocks.
+	Stall time.Duration
+}
+
+// ParseShardFault parses the -shard-fault flag syntax:
+//
+//	""                          no fault
+//	"kill@level=3"              SIGKILL self when expanding level 3
+//	"stall@level=3:dur=500ms"   go silent for 500ms at level 3
+func ParseShardFault(s string) (*ShardFault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	kind, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return nil, fmt.Errorf("faults: shard fault %q: want kind@level=N", s)
+	}
+	f := &ShardFault{Kind: kind}
+	for _, part := range strings.Split(rest, ":") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: shard fault %q: bad field %q", s, part)
+		}
+		switch key {
+		case "level":
+			lv, err := strconv.Atoi(val)
+			if err != nil || lv < 0 {
+				return nil, fmt.Errorf("faults: shard fault %q: bad level %q", s, val)
+			}
+			f.Level = lv
+		case "dur":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: shard fault %q: bad duration %q", s, val)
+			}
+			f.Stall = d
+		default:
+			return nil, fmt.Errorf("faults: shard fault %q: unknown field %q", s, key)
+		}
+	}
+	switch f.Kind {
+	case "kill":
+	case "stall":
+		if f.Stall <= 0 {
+			return nil, fmt.Errorf("faults: shard fault %q: stall needs dur=", s)
+		}
+	default:
+		return nil, fmt.Errorf("faults: shard fault %q: unknown kind %q", s, f.Kind)
+	}
+	return f, nil
+}
+
+// At reports whether the fault fires at this level. Safe on nil.
+func (f *ShardFault) At(level int) bool {
+	return f != nil && f.Level == level
+}
+
+// Trigger fires the fault: "kill" SIGKILLs the current process and never
+// returns; "stall" blocks for Stall, heartbeating nothing. Safe on nil.
+func (f *ShardFault) Trigger() {
+	if f == nil {
+		return
+	}
+	switch f.Kind {
+	case "kill":
+		p, err := os.FindProcess(os.Getpid())
+		if err == nil {
+			_ = p.Kill()
+		}
+		// SIGKILL is asynchronous; never proceed past it.
+		select {}
+	case "stall":
+		time.Sleep(f.Stall)
+	}
+}

@@ -85,11 +85,14 @@ type ProgressView struct {
 	LevelSizeP99 int64 `json:"level_size_p99"`
 	// EtaP95Sec is EtaSec scaled by p95/p50; -1 when there is no estimate.
 	EtaP95Sec float64 `json:"eta_p95_sec"`
+	// Shards is per-slice lease health, present only on distributed
+	// coordinators (SetShardHealth).
+	Shards []ShardHealth `json:"shards,omitempty"`
 }
 
 // progressView assembles the /progress document for a scope.
 func progressView(s *Scope) ProgressView {
-	v := ProgressView{Snapshot: s.Progress().Snapshot(), EtaP95Sec: -1}
+	v := ProgressView{Snapshot: s.Progress().Snapshot(), EtaP95Sec: -1, Shards: s.ShardHealthView()}
 	h := s.Registry().Histogram("explore_level_size", LevelSizeBounds)
 	if h.Count() == 0 {
 		return v

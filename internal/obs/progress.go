@@ -59,6 +59,19 @@ func (p *Progress) Checkpoint() {
 	p.lastCkpt.Store(time.Now().UnixNano())
 }
 
+// ShardHealth is one shard slice's liveness row on /progress: who leases
+// it, where its owner is in the level protocol, how stale the lease is
+// (-1 when unowned), and how many times the slice has been reassigned
+// after a crash or stall. Populated only by distributed runs.
+type ShardHealth struct {
+	Slice       int     `json:"slice"`
+	Worker      string  `json:"worker,omitempty"`
+	Level       int     `json:"level"`
+	Phase       string  `json:"phase"`
+	LeaseAgeSec float64 `json:"lease_age_sec"`
+	Reassigns   int     `json:"reassigns"`
+}
+
 // raiseTo raises the atomic to v if larger (a lock-free high-water mark).
 func raiseTo(a *atomic.Int64, v int64) {
 	for {

@@ -22,6 +22,10 @@ type Scope struct {
 	// engine ticks it at its natural boundaries (BFS levels, phase changes)
 	// so the trajectory samples land where the work actually happened.
 	rec atomic.Pointer[Recorder]
+	// shards holds the registered shard-health probe (nil until
+	// SetShardHealth); a distributed coordinator registers it so /progress
+	// can show per-slice lease state.
+	shards atomic.Pointer[func() []ShardHealth]
 }
 
 // NewScope returns an enabled scope with a fresh registry and progress
@@ -77,6 +81,29 @@ func (s *Scope) ReadyErr() error {
 		return nil
 	}
 	fn := s.ready.Load()
+	if fn == nil || *fn == nil {
+		return nil
+	}
+	return (*fn)()
+}
+
+// SetShardHealth registers fn as the /progress shard-health probe. Only
+// distributed coordinators call it; everyone else's /progress omits the
+// shards section. Safe on nil.
+func (s *Scope) SetShardHealth(fn func() []ShardHealth) {
+	if s == nil {
+		return
+	}
+	s.shards.Store(&fn)
+}
+
+// ShardHealthView evaluates the registered shard-health probe; nil when no
+// coordinator registered one. Safe on nil.
+func (s *Scope) ShardHealthView() []ShardHealth {
+	if s == nil {
+		return nil
+	}
+	fn := s.shards.Load()
 	if fn == nil || *fn == nil {
 		return nil
 	}

@@ -23,8 +23,16 @@ import (
 // A 429 carries Retry-After; 503 on submit means the server is draining.
 // The same /healthz and /readyz contract is also served on the obs debug
 // endpoint when one is configured.
-func (s *Server) Handler() http.Handler {
+//
+// Extra subsystems mount their own handlers alongside the job API: each
+// Mount's handler is registered at its pattern on the same mux (provesrv
+// -coordinator mounts the distributed-exploration coordinator under
+// /dist/ this way).
+func (s *Server) Handler(extra ...Mount) http.Handler {
 	mux := http.NewServeMux()
+	for _, m := range extra {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
@@ -49,6 +57,13 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	return mux
+}
+
+// Mount attaches an extra subsystem's handler to the server's mux at a
+// pattern (e.g. "/dist/" for the shard coordinator).
+type Mount struct {
+	Pattern string
+	Handler http.Handler
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
