@@ -284,6 +284,21 @@ type errNotOwner struct{ slice int }
 
 func (e errNotOwner) Error() string { return fmt.Sprintf("dist: not the owner of slice %d", e.slice) }
 
+// errStale is also mapped to HTTP 409: the post comes from the slice's
+// current owner but describes work from before a revoke+regrant cleared the
+// slice's marks, so the poster's local state may predate its own regrant.
+// Retrying verbatim cannot help, but the worker is healthy — it must drop
+// the slice and rebuild from the checkpoint on its next poll, exactly the
+// ErrLeaseLost path, never exit.
+type errStale struct {
+	slice int
+	what  string
+}
+
+func (e errStale) Error() string {
+	return fmt.Sprintf("dist: stale %s for slice %d, rebuild from checkpoint", e.what, e.slice)
+}
+
 // checkOwnerLocked validates w's lease on slice s.
 func (c *Coordinator) checkOwnerLocked(w string, s int) error {
 	if s < 0 || s >= len(c.slices) {
@@ -317,6 +332,16 @@ func (c *Coordinator) putCheckpoint(w string, s, level int, body []byte) error {
 		return err
 	}
 	sl := &c.slices[s]
+	// Keep the stored checkpoint monotonic in level. The client retries on
+	// its request timeout while the original upload may still be applied
+	// afterwards, so a delayed duplicate can arrive after a newer level's
+	// checkpoint landed — storing it would regress the recovery point, and
+	// a reassignment while it is >= 2 levels behind the run would then be
+	// fatally unadoptable. Same-level posts carry identical bytes (the
+	// encoding is deterministic), so dropping them loses nothing either.
+	if sl.hasCkpt && level <= sl.ckptLevel {
+		return nil
+	}
 	sl.ckpt = body
 	sl.ckptLevel = level
 	sl.hasCkpt = true
@@ -358,6 +383,11 @@ func (c *Coordinator) putChunk(w string, body []byte) error {
 	c.heartbeatLocked(w, now)
 	if err := c.checkOwnerLocked(w, h.From); err != nil {
 		return err
+	}
+	if h.Level < c.level {
+		// Delayed duplicate of a chunk for a closed level; the stored copy
+		// (identical bytes) was already ingested. Idempotent.
+		return nil
 	}
 	if h.Level != c.level {
 		return fmt.Errorf("dist: chunk for level %d, run is at %d", h.Level, c.level)
@@ -416,6 +446,10 @@ func (c *Coordinator) expanded(w string, s, level int, steps int64) error {
 	if err := c.checkOwnerLocked(w, s); err != nil {
 		return err
 	}
+	if level < c.level {
+		// Delayed duplicate for a closed level; already counted. Idempotent.
+		return nil
+	}
 	if level != c.level {
 		return fmt.Errorf("dist: expand-done for level %d, run is at %d", level, c.level)
 	}
@@ -436,13 +470,31 @@ func (c *Coordinator) ingested(w string, s, level int, fresh int64, digest explo
 	if err := c.checkOwnerLocked(w, s); err != nil {
 		return err
 	}
+	if level < c.level {
+		// A delayed duplicate for a level that already closed; its original
+		// was applied, or the slice was redone by a successor. Idempotent.
+		return nil
+	}
 	if level != c.level {
 		return fmt.Errorf("dist: ingest-done for level %d, run is at %d", level, c.level)
 	}
-	if c.phaseLocked() != phaseIngest {
-		return fmt.Errorf("dist: ingest-done during %s phase", c.phaseLocked())
-	}
 	sl := &c.slices[s]
+	if c.phaseLocked() != phaseIngest {
+		// The heartbeat above may have just lazily expired a dead worker,
+		// revoking its slices and clearing their expand marks — regressing
+		// the phase from ingest back to expand while this post was in
+		// flight. The post is still exactly right: the phase only reaches
+		// ingest after every slice shipped its chunks, revocation retains
+		// them, and a redone expansion reposts identical bytes, so the
+		// result computed from that chunk set is the level's deterministic
+		// answer. Accept it as long as the poster's own expand mark
+		// survived; if the poster's own slice was revoked and regranted,
+		// its cached result predates the regrant — 409 sends the worker
+		// back to rebuild from the checkpoint instead of killing it.
+		if !sl.expanded {
+			return errStale{slice: s, what: "ingest-done"}
+		}
+	}
 	sl.ingested = true
 	sl.fresh = fresh
 	sl.digest = digest

@@ -178,6 +178,95 @@ func TestCorruptChunkRetry(t *testing.T) {
 	}
 }
 
+// TestIngestDoneSurvivesPhaseRegression: a healthy worker's ingest-done
+// whose own embedded heartbeat lazily expires a dead peer — revoking the
+// peer's slice, clearing its expand mark, and regressing the phase from
+// ingest back to expand — must be accepted, not rejected as a terminal
+// 400. The poster's result was computed from the level's complete retained
+// chunk set and a redo reproduces it byte for byte; killing the survivor
+// here would cascade the exact failure the leases exist to survive.
+func TestIngestDoneSurvivesPhaseRegression(t *testing.T) {
+	tr := newTestRun(t, 3, 2, 3, 60)
+	c := tr.coord
+	c.poll("live") // grants slice 0
+	c.poll("dead") // grants slice 1
+	if err := c.expanded("live", 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.expanded("dead", 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Let dead's lease lapse, then post live's ingest-done: the heartbeat
+	// inside ingested() expires dead and regresses the phase to expand
+	// before the phase check runs.
+	time.Sleep(100 * time.Millisecond)
+	if err := c.ingested("live", 0, 0, 2, explore.Fingerprint{1, 2}); err != nil {
+		t.Fatalf("healthy worker's ingest-done rejected after phase regression: %v", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.slices[1].owner != "" || c.slices[1].expanded {
+		t.Fatal("dead worker's slice was not revoked — the regression never happened")
+	}
+	if !c.slices[0].ingested {
+		t.Fatal("accepted ingest-done did not mark the slice")
+	}
+}
+
+// TestStaleIngestDoneAfterRegrant: an ingest-done whose slice was revoked
+// and regranted (epoch bumped, marks cleared) since the result was
+// computed gets 409 — the client maps it to ErrLeaseLost, so the worker
+// drops the slice and rebuilds from the checkpoint instead of exiting.
+func TestStaleIngestDoneAfterRegrant(t *testing.T) {
+	tr := newTestRun(t, 3, 1, 3, 5000)
+	ctx := context.Background()
+	cl := newClient(tr.srv.URL, "w", 1)
+	if _, err := cl.poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tr.coord.mu.Lock()
+	tr.coord.revokeLocked(0)
+	tr.coord.mu.Unlock()
+	// Regrant to the same worker: same owner, new epoch, cleared marks.
+	if _, err := cl.poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	err := cl.postIngested(ctx, 0, 0, 1, explore.Fingerprint{})
+	if !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale ingest-done after regrant returned %v, want ErrLeaseLost", err)
+	}
+}
+
+// TestCheckpointLevelMonotonic: a delayed duplicate checkpoint upload for
+// an older level must not regress the stored recovery point — the newest
+// checkpoint wins, and the stale post is acknowledged as a no-op.
+func TestCheckpointLevelMonotonic(t *testing.T) {
+	tr := newTestRun(t, 3, 1, 3, 5000)
+	c := tr.coord
+	c.poll("w")
+	enc := func(level int) []byte {
+		ck := SliceCheckpoint{Slice: 0, Level: level, FPVersion: explore.FingerprintVersion}
+		body, err := ck.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	if err := c.putCheckpoint("w", 0, 1, enc(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.putCheckpoint("w", 0, 0, enc(0)); err != nil {
+		t.Fatalf("delayed duplicate checkpoint rejected instead of ignored: %v", err)
+	}
+	body, level, err := c.getCheckpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != 1 || !bytes.Equal(body, enc(1)) {
+		t.Fatalf("stored checkpoint regressed to level %d", level)
+	}
+}
+
 // TestPostFromNonOwnerRejected: a zombie worker whose lease was revoked
 // gets 409 on its posts and ErrLeaseLost from the client.
 func TestPostFromNonOwnerRejected(t *testing.T) {

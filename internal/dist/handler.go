@@ -43,14 +43,16 @@ func distWriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// distError maps coordinator errors onto status codes: lost leases are 409
-// (the worker must drop the slice, not retry), corruption is 400 (the
-// payload is bad however often it is resent), everything else is also 400
-// — the coordinator's in-memory handling has no transient 5xx failures.
+// distError maps coordinator errors onto status codes: lost leases and
+// stale posts are 409 (the worker must drop the slice and rebuild, not
+// retry verbatim — and never exit), corruption is 400 (the payload is bad
+// however often it is resent), everything else is also 400 — the
+// coordinator's in-memory handling has no transient 5xx failures.
 func distError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var notOwner errNotOwner
-	if errors.As(err, &notOwner) {
+	var stale errStale
+	if errors.As(err, &notOwner) || errors.As(err, &stale) {
 		status = http.StatusConflict
 	}
 	distWriteJSON(w, status, map[string]string{"error": err.Error()})

@@ -88,7 +88,11 @@ func DecodeEntries(body []byte) ([]Entry, error) {
 		return nil, fmt.Errorf("dist: entries count: truncated")
 	}
 	body = body[n:]
-	if count > uint64(len(body)+1) {
+	// Every entry costs at least a fingerprint plus a one-byte path length,
+	// so bound the declared count by that before sizing the allocation — a
+	// crafted count must not amplify a small body into gigabytes of slice
+	// (the sha256 framing around entry bodies is a checksum, not a MAC).
+	if count > uint64(len(body)/(explore.FingerprintBytes+1)) {
 		return nil, fmt.Errorf("dist: entries count %d exceeds payload", count)
 	}
 	out := make([]Entry, 0, count)

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -35,6 +36,27 @@ func TestEntriesRoundTrip(t *testing.T) {
 				t.Fatalf("entry %d move %d: %d, want %d", i, j, got[i].Path[j], want[i].Path[j])
 			}
 		}
+	}
+}
+
+// TestDecodeEntriesHugeCountRejected: a crafted body declaring far more
+// entries than its bytes can hold must be rejected before the entry slice
+// is sized from the count — the declared count must never amplify a small
+// body into a multi-gigabyte allocation.
+func TestDecodeEntriesHugeCountRejected(t *testing.T) {
+	for _, count := range []uint64{1 << 26, 1 << 40} {
+		body := binary.AppendUvarint(nil, count)
+		body = append(body, make([]byte, 64)...)
+		if _, err := DecodeEntries(body); err == nil {
+			t.Fatalf("declared count %d over a %d-byte payload decoded without error", count, len(body))
+		}
+	}
+	// The bound must also catch counts that fit in the old len(body)+1
+	// check but not in the per-entry minimum of fingerprint + path length.
+	body := binary.AppendUvarint(nil, 10)
+	body = append(body, make([]byte, 64)...)
+	if _, err := DecodeEntries(body); err == nil {
+		t.Fatal("count 10 over a 64-byte payload decoded without error")
 	}
 }
 
