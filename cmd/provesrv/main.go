@@ -10,14 +10,16 @@
 //	         [-default-timeout 0] [-checkpoint-every 2s] [-batch-size 16] [-batch-wait 500ms]
 //	         [-debug-addr host:port] [-trace-out trace.jsonl]
 //	         [-coordinator -dist-protocol diskrace -dist-n 3 -dist-slices 3
-//	          -dist-max-depth 0 -dist-lease 2s]
+//	          -dist-max-depth 0 -dist-lease 2s -dist-dir dir]
 //	provesrv -verify-ledger path/to/ledger.seg
 //
 // With -coordinator the server additionally mounts a distributed shard
 // coordinator under /dist/ (see internal/dist): `spacebound -shard` workers
 // attach to it, lease fingerprint slices, and explore the configured run
 // with crash-tolerant leases and checkpointed recovery. Shard health shows
-// up on the obs endpoint's /progress.
+// up on the obs endpoint's /progress. The coordinator's barrier state is
+// journalled under -dist-dir (default <data-dir>/dist) and recovered on
+// boot, so killing provesrv mid-run loses no coordinated progress either.
 //
 // Everything the server must not lose lives under -data-dir: one directory
 // per job (spec, status, checkpoints, witness artifact, trace) plus the
@@ -46,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -91,6 +94,7 @@ func run() error {
 	distSlices := flag.Int("dist-slices", 3, "fingerprint slices of the coordinated run")
 	distMaxDepth := flag.Int("dist-max-depth", 0, "depth cap of the coordinated run (0 = unbounded)")
 	distLease := flag.Duration("dist-lease", 2*time.Second, "shard lease; a worker silent for longer loses its slices")
+	distDir := flag.String("dist-dir", "", "coordinator journal directory (default <data-dir>/dist); a restart recovers the coordinated run from it")
 	flag.Parse()
 
 	if *verifyLedger != "" {
@@ -145,6 +149,30 @@ func run() error {
 			return err
 		}
 		scope.SetShardHealth(coord.ShardHealth)
+		// The coordinator's barrier state is as durable as the job state:
+		// journalled under -data-dir, recovered synchronously before the
+		// listener opens, so a restarted provesrv resumes the coordinated
+		// run at the exact level and phase it died in.
+		dir := *distDir
+		if dir == "" {
+			dir = filepath.Join(*dataDir, "dist")
+		}
+		j, err := dist.OpenJournal(dir, dist.JournalOptions{Scope: scope})
+		if err != nil {
+			return err
+		}
+		if err := coord.AttachJournal(j); err != nil {
+			return err
+		}
+		if coord.Recovering() {
+			fmt.Fprintf(os.Stderr, "provesrv: dist journal %s holds a prior run, recovering\n", dir)
+			if err := coord.Recover(); err != nil {
+				return fmt.Errorf("dist journal recovery: %w", err)
+			}
+			st := coord.Status()
+			fmt.Fprintf(os.Stderr, "provesrv: coordinator recovered to level %d (%s phase), generation %d\n",
+				st.Level, st.Phase, st.Gen)
+		}
 		mounts = append(mounts, server.Mount{Pattern: "/dist/", Handler: coord.Handler()})
 		fmt.Fprintf(os.Stderr, "provesrv: coordinating %s n=%d over %d slices\n", *distProtocol, *distN, *distSlices)
 	}

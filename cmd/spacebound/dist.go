@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -19,16 +20,20 @@ import (
 // distFlags carries the distributed-exploration flag values from run()
 // into the three dist modes.
 type distFlags struct {
-	coordinator string // listen address; "" = not a coordinator
-	shard       string // coordinator base URL; "" = not a shard
-	sequential  bool   // run the single-process reference instead
-	shardID     string
-	shardFault  string
-	slices      int
-	maxDepth    int
-	lease       time.Duration
-	linger      time.Duration
-	corruptGets int
+	coordinator  string // listen address; "" = not a coordinator
+	shard        string // coordinator base URL; "" = not a shard
+	sequential   bool   // run the single-process reference instead
+	chaos        string // chaos schedule; "" = not the chaos driver
+	shardID      string
+	shardFault   string
+	shardSeed    int64
+	slices       int
+	maxDepth     int
+	lease        time.Duration
+	linger       time.Duration
+	corruptGets  int
+	journalDir   string // coordinator journal directory; "" = memory-only
+	journalFault string // fs fault injected into journal writes
 }
 
 // runCoordinator hosts the shard coordinator: /dist/* plus the obs surface
@@ -49,6 +54,28 @@ func runCoordinator(df distFlags, protocol string, n int, scope *obs.Scope, witn
 		return err
 	}
 	scope.SetShardHealth(coord.ShardHealth)
+	scope.SetReadyCheck(func() error {
+		if coord.Recovering() {
+			return errors.New("dist: coordinator recovering")
+		}
+		return nil
+	})
+	if df.journalDir != "" {
+		fsFault, err := faults.ParseFSFault(df.journalFault)
+		if err != nil {
+			return err
+		}
+		if fsFault != nil {
+			fmt.Fprintf(os.Stderr, "spacebound: journal writes faulted (%s)\n", df.journalFault)
+		}
+		j, err := dist.OpenJournal(df.journalDir, dist.JournalOptions{Opener: fsFault.Opener(), Scope: scope})
+		if err != nil {
+			return err
+		}
+		if err := coord.AttachJournal(j); err != nil {
+			return err
+		}
+	}
 	if df.corruptGets > 0 {
 		inj := faults.NewOpInjector()
 		inj.Fail("dist.chunk.get", df.corruptGets, nil)
@@ -69,6 +96,18 @@ func runCoordinator(df distFlags, protocol string, n int, scope *obs.Scope, witn
 	// test) can find it when the flag uses port 0.
 	fmt.Fprintf(os.Stderr, "spacebound: coordinator on http://%s (%s n=%d, %d slices, lease %v)\n",
 		ln.Addr(), protocol, n, df.slices, df.lease)
+	// The recovery sweep runs after the listener is up: workers that
+	// survived the crash are already retrying, and the handler's recovery
+	// gate answers them 503 + Retry-After until the sweep finishes.
+	if coord.Recovering() {
+		fmt.Fprintf(os.Stderr, "spacebound: journal %s holds a prior run, recovering\n", df.journalDir)
+		if err := coord.Recover(); err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		st := coord.Status()
+		fmt.Fprintf(os.Stderr, "spacebound: recovered to level %d (%s phase), generation %d\n",
+			st.Level, st.Phase, st.Gen)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -121,6 +160,10 @@ func runShard(ctx context.Context, df distFlags, scope *obs.Scope) error {
 	if err != nil {
 		return err
 	}
+	seed := df.shardSeed
+	if seed == 0 {
+		seed = int64(os.Getpid())
+	}
 	w := &dist.Worker{
 		ID:    id,
 		URL:   df.shard,
@@ -129,7 +172,7 @@ func runShard(ctx context.Context, df distFlags, scope *obs.Scope) error {
 		Opts:  run.Opts,
 		Fault: fault,
 		Scope: scope,
-		Seed:  int64(os.Getpid()),
+		Seed:  seed,
 	}
 	fmt.Fprintf(os.Stderr, "spacebound: shard %s joining %s (%s n=%d, %d slices)\n",
 		id, df.shard, spec.Protocol, spec.N, spec.Slices)

@@ -11,16 +11,37 @@
 //	           [-witness-out witness.txt] [-server http://host:port]
 //	spacebound -coordinator host:port [-protocol p] [-n n] [-dist-slices 3]
 //	           [-dist-max-depth 0] [-dist-lease 2s] [-dist-linger 2s] [-witness-out w.txt]
+//	           [-dist-journal dir] [-dist-journal-fault enospc@bytes=N]
 //	spacebound -shard http://host:port [-shard-id id] [-shard-fault kill@level=3]
 //	spacebound -dist-sequential [-protocol p] [-n n] [-dist-max-depth 0] [-witness-out w.txt]
+//	spacebound -chaos "coord:kill@level=4; worker:victim:kill@level=3; worker:w1; worker:w2"
+//	           [-protocol p] [-n n] [-dist-slices 3] [-dist-max-depth 0] [-dist-lease 2s]
+//	           [-dist-journal dir] [-witness-out w.txt]
 //
-// The three dist modes run the crash-tolerant sharded exploration
+// The dist modes run the crash-tolerant sharded exploration
 // (internal/dist): -coordinator hosts the lease/barrier coordinator (plus
 // /metrics and /progress with per-shard health) and prints the merged
 // witness when the run completes; -shard joins a coordinator as one shard
 // worker, with -shard-fault scripting a mid-run crash or stall for chaos
 // testing; -dist-sequential runs the single-process reference whose witness
 // a distributed run must reproduce byte for byte.
+//
+// -dist-journal makes the coordinator crash-recoverable: barrier marks,
+// slice checkpoints, and retained exchange chunks are persisted to a
+// write-ahead journal plus periodic snapshots in that directory, and a
+// coordinator restarted over the same directory resumes the barrier at the
+// exact level and phase it died in (leases are not persisted — workers
+// re-acquire under a fenced new generation). -dist-journal-fault injects
+// filesystem faults into the journal's writes for testing; a faulted
+// journal degrades to memory-only operation rather than failing the run.
+//
+// -chaos executes a whole scripted failure schedule in one invocation: it
+// spawns a journalled coordinator and the scheduled workers as child
+// processes, SIGKILLs the coordinator at the scripted level, restarts it
+// from the journal, asserts every healthy worker rode through the outage,
+// and compares the merged witness byte-for-byte against the sequential
+// reference it computes first. See internal/faults.ParseChaosSchedule for
+// the directive syntax.
 //
 // -server submits the construction to a running provesrv instance instead
 // of executing it locally: the job is posted to the server's /jobs API,
@@ -126,14 +147,18 @@ func run() error {
 	flag.BoolVar(&df.sequential, "dist-sequential", false, "run the single-process reference of a distributed exploration and print its witness")
 	flag.StringVar(&df.shardID, "shard-id", "", "this shard worker's id (default shard-<pid>)")
 	flag.StringVar(&df.shardFault, "shard-fault", "", "scripted worker fault: kill@level=L or stall@level=L:dur=D")
+	flag.Int64Var(&df.shardSeed, "shard-seed", 0, "jitter seed for this shard worker's retry backoff (0 = pid)")
 	flag.IntVar(&df.slices, "dist-slices", 3, "fingerprint slices of the coordinated run")
 	flag.IntVar(&df.maxDepth, "dist-max-depth", 0, "depth cap of the coordinated run (0 = unbounded)")
 	flag.DurationVar(&df.lease, "dist-lease", 2*time.Second, "shard lease; a worker silent for longer loses its slices")
 	flag.DurationVar(&df.linger, "dist-linger", 2*time.Second, "how long the coordinator keeps serving after the run completes")
 	flag.IntVar(&df.corruptGets, "dist-corrupt-gets", 0, "serve the first N chunk GETs corrupted (fault injection for tests)")
+	flag.StringVar(&df.journalDir, "dist-journal", "", "coordinator journal directory; a restart over the same directory recovers the run (empty = memory-only)")
+	flag.StringVar(&df.journalFault, "dist-journal-fault", "", "filesystem fault against journal writes: enospc@bytes=N, shortwrite@write=K or syncfail")
+	flag.StringVar(&df.chaos, "chaos", "", "execute a chaos schedule (see internal/faults.ParseChaosSchedule) against a journalled coordinator and scripted workers")
 	flag.Parse()
 
-	if df.coordinator != "" || df.shard != "" || df.sequential {
+	if df.coordinator != "" || df.shard != "" || df.sequential || df.chaos != "" {
 		ctx := context.Background()
 		if *timeout > 0 {
 			var cancel context.CancelFunc
@@ -141,6 +166,8 @@ func run() error {
 			defer cancel()
 		}
 		switch {
+		case df.chaos != "":
+			return runChaos(ctx, df, *protocol, *n, *witnessOut)
 		case df.coordinator != "":
 			scope, stopObs, err := obs.Start(obs.Config{TraceOut: *traceOut, DebugAddr: *debugAddr, RecordEvery: *recordEvery})
 			if err != nil {

@@ -18,10 +18,16 @@ import (
 // supervisor's retry shape in internal/server: the delay doubles from
 // Base, caps at Max, and carries up to 25% seeded jitter so a fleet of
 // workers retrying the same coordinator does not retry in lockstep.
+// The attempt budget is sized for a coordinator outage: with the doubling
+// capped at 2s, 14 attempts ride through well over ten seconds of dead or
+// recovering coordinator — kill detection, restart delay, and the journal
+// recovery sweep together stay an order of magnitude below that — so a
+// healthy worker never exits during the window, it just keeps retrying
+// until the recovered coordinator either answers or fences it with 409.
 const (
 	clientRetryBase = 50 * time.Millisecond
 	clientRetryMax  = 2 * time.Second
-	clientAttempts  = 10
+	clientAttempts  = 14
 )
 
 // errTerminal wraps a response that retrying cannot fix — a 4xx other
@@ -122,7 +128,15 @@ func (cl *client) do(ctx context.Context, method, path string, query url.Values,
 			}
 			continue
 		case resp.StatusCode >= 500:
+			// A recovering coordinator answers 503 + Retry-After; honouring
+			// it (in place of one backoff step) keeps the retry cadence
+			// aligned with the recovery sweep instead of hammering it.
 			lastErr = fmt.Errorf("dist: %s %s: %s", method, path, resp.Status)
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				if err := sleep(ctx, time.Duration(ra)*time.Second); err != nil {
+					return nil, nil, err
+				}
+			}
 			continue
 		case resp.StatusCode >= 400:
 			return nil, nil, errTerminal{fmt.Errorf("dist: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(respBody))}

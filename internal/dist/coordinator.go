@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"time"
@@ -76,6 +77,21 @@ type Coordinator struct {
 	levelStart time.Time
 
 	reassignTotal int64
+
+	// Durability (S25). journal, when attached, records every accepted
+	// mutation; replaying makes the apply paths journal-silent while
+	// Recover feeds the WAL back through them. recovering gates the worker
+	// surface 503 between AttachJournal finding prior state and Recover
+	// finishing the sweep; chunk posts that land in that window are stashed
+	// in pending (first write wins) and installed after the journal's own
+	// copies. gen counts coordinator incarnations: each recovery bumps it
+	// and rebases every slice epoch to gen<<20, so grants fenced before the
+	// crash can never collide with post-restart epochs.
+	journal    *Journal
+	recovering bool
+	replaying  bool
+	pending    map[chunkKey][]byte
+	gen        int
 }
 
 // ExchangeLatencyBoundsMicros buckets dist_exchange_us, the time from a
@@ -331,22 +347,32 @@ func (c *Coordinator) putCheckpoint(w string, s, level int, body []byte) error {
 	if err := c.checkOwnerLocked(w, s); err != nil {
 		return err
 	}
-	sl := &c.slices[s]
-	// Keep the stored checkpoint monotonic in level. The client retries on
-	// its request timeout while the original upload may still be applied
-	// afterwards, so a delayed duplicate can arrive after a newer level's
-	// checkpoint landed — storing it would regress the recovery point, and
-	// a reassignment while it is >= 2 levels behind the run would then be
-	// fatally unadoptable. Same-level posts carry identical bytes (the
-	// encoding is deterministic), so dropping them loses nothing either.
-	if sl.hasCkpt && level <= sl.ckptLevel {
+	if !c.applyCheckpointLocked(s, level, body) {
 		return nil
+	}
+	c.journal.append(journalRec{Tag: jrecCkpt, Slice: s, Level: level, Body: body})
+	return nil
+}
+
+// applyCheckpointLocked stores a slice checkpoint if it advances the
+// slice's recovery point, reporting whether it did. The stored checkpoint
+// stays monotonic in level: the client retries on its request timeout
+// while the original upload may still be applied afterwards, so a delayed
+// duplicate can arrive after a newer level's checkpoint landed — storing
+// it would regress the recovery point, and a reassignment while it is
+// >= 2 levels behind the run would then be fatally unadoptable. Same-level
+// posts carry identical bytes (the encoding is deterministic), so dropping
+// them loses nothing either.
+func (c *Coordinator) applyCheckpointLocked(s, level int, body []byte) bool {
+	sl := &c.slices[s]
+	if sl.hasCkpt && level <= sl.ckptLevel {
+		return false
 	}
 	sl.ckpt = body
 	sl.ckptLevel = level
 	sl.hasCkpt = true
 	c.scope.Counter("dist_ckpt_bytes").Add(int64(len(body)))
-	return nil
+	return true
 }
 
 // getCheckpoint serves a slice's newest checkpoint to its (new) owner.
@@ -380,24 +406,51 @@ func (c *Coordinator) putChunk(w string, body []byte) error {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.heartbeatLocked(w, now)
-	if err := c.checkOwnerLocked(w, h.From); err != nil {
-		return err
+	key := chunkKey{level: h.Level, from: h.From, to: h.To}
+	if c.recovering {
+		// Recovery window: the bytes are already verified, but ownership
+		// and the barrier position are unknown until the sweep finishes.
+		// Stash the first copy of each chunk and answer idempotently —
+		// Recover installs it only if the journal holds no copy (journaled
+		// bytes win) and the chunk's level is still open.
+		if _, ok := c.pending[key]; !ok {
+			c.pending[key] = body
+			c.scope.Counter("dist_chunks_pending").Add(1)
+		}
+		return nil
 	}
+	c.heartbeatLocked(w, now)
 	if h.Level < c.level {
 		// Delayed duplicate of a chunk for a closed level; the stored copy
-		// (identical bytes) was already ingested. Idempotent.
+		// (identical bytes) was already ingested. Idempotent — whoever owns
+		// the slice now, the level's answer is already folded in.
 		return nil
 	}
 	if h.Level != c.level {
 		return fmt.Errorf("dist: chunk for level %d, run is at %d", h.Level, c.level)
 	}
-	key := chunkKey{level: h.Level, from: h.From, to: h.To}
+	if stored, ok := c.chunks[key]; ok && bytes.Equal(stored, body) {
+		// Identical repost — a retry whose original landed, or a redo after
+		// reassignment. First write won; idempotent regardless of who owns
+		// the slice by now.
+		return nil
+	}
+	if err := c.checkOwnerLocked(w, h.From); err != nil {
+		return err
+	}
+	c.journal.append(journalRec{Tag: jrecChunk, Level: h.Level, From: h.From, To: h.To, Body: body})
+	c.applyChunkLocked(key, body, now)
+	return nil
+}
+
+// applyChunkLocked stores one verified exchange chunk.
+func (c *Coordinator) applyChunkLocked(key chunkKey, body []byte, now time.Time) {
 	c.chunks[key] = body
 	c.scope.Counter("dist_chunks_posted").Add(1)
 	c.scope.Counter("dist_chunk_bytes").Add(int64(len(body)))
-	c.scope.Histogram("dist_exchange_us", ExchangeLatencyBoundsMicros).Observe(now.Sub(c.levelStart).Microseconds())
-	return nil
+	if !c.replaying {
+		c.scope.Histogram("dist_exchange_us", ExchangeLatencyBoundsMicros).Observe(now.Sub(c.levelStart).Microseconds())
+	}
 }
 
 // chunkSources lists the from-slices with a stored chunk addressed to
@@ -453,10 +506,19 @@ func (c *Coordinator) expanded(w string, s, level int, steps int64) error {
 	if level != c.level {
 		return fmt.Errorf("dist: expand-done for level %d, run is at %d", level, c.level)
 	}
+	if sl := &c.slices[s]; sl.expanded && sl.steps == steps {
+		return nil // duplicate — already applied and journaled
+	}
+	c.journal.append(journalRec{Tag: jrecExpanded, Slice: s, Level: level, Steps: steps})
+	c.applyExpandedLocked(s, steps)
+	return nil
+}
+
+// applyExpandedLocked marks a slice's expand-done for the current level.
+func (c *Coordinator) applyExpandedLocked(s int, steps int64) {
 	sl := &c.slices[s]
 	sl.expanded = true
 	sl.steps = steps
-	return nil
 }
 
 // ingested records a slice's ingest-done for the level: how many fresh
@@ -495,11 +557,25 @@ func (c *Coordinator) ingested(w string, s, level int, fresh int64, digest explo
 			return errStale{slice: s, what: "ingest-done"}
 		}
 	}
+	if sl.ingested && sl.fresh == fresh && sl.digest == digest {
+		return nil // duplicate — already applied and journaled
+	}
+	// Journal before applying: if this is the post that closes the level,
+	// the apply snapshots and rotates the WAL, and the fallback-chain
+	// invariant needs the closing record to be the old WAL's last entry.
+	c.journal.append(journalRec{Tag: jrecIngested, Slice: s, Level: level, Fresh: fresh, Digest: digest})
+	c.applyIngestedLocked(s, fresh, digest)
+	return nil
+}
+
+// applyIngestedLocked marks a slice's ingest-done and closes the level if
+// it was the last one outstanding.
+func (c *Coordinator) applyIngestedLocked(s int, fresh int64, digest explore.Fingerprint) {
+	sl := &c.slices[s]
 	sl.ingested = true
 	sl.fresh = fresh
 	sl.digest = digest
 	c.maybeAdvanceLocked()
-	return nil
 }
 
 // maybeAdvanceLocked closes the level once every slice has expanded and
@@ -538,22 +614,43 @@ func (c *Coordinator) maybeAdvanceLocked() {
 		sl.digest = explore.Fingerprint{}
 	}
 	next := c.level + 1
-	for key := range c.chunks {
-		if key.level < next-1 {
-			delete(c.chunks, key)
-		}
-	}
+	c.pruneChunksLocked(next - 1)
 	c.scope.Event("dist_level_done")
 	if fresh == 0 || (c.spec.MaxDepth > 0 && next >= c.spec.MaxDepth) {
 		c.done = true
 		c.witness = RenderWitness(c.spec, c.levels, c.steps)
+		// No reassignment can need a chunk now: workers see Done on their
+		// next poll and exit without fetching. Free the lot — and keep the
+		// final journal snapshot from carrying it.
+		c.pruneChunksLocked(maxJournalInt)
 		c.scope.Gauge("dist_done").Set(1)
 		close(c.doneCh)
+		c.snapshotLocked()
 		return
 	}
 	c.level = next
 	c.levelStart = time.Now()
 	c.scope.Gauge("dist_level").Set(int64(next))
+	c.snapshotLocked()
+}
+
+// pruneChunksLocked drops retained exchange chunks for levels below floor.
+// The retention window {level-1, level} (floor = level-1) is exactly what
+// a reassignment can still need: an adopted checkpoint is never older than
+// the previous level, and its catch-up ingests that level's chunk set.
+// Without the prune, chunk memory — and the journal snapshots carrying
+// it — would grow with the full explored space instead of the frontier.
+func (c *Coordinator) pruneChunksLocked(floor int) {
+	pruned := 0
+	for key := range c.chunks {
+		if key.level < floor {
+			delete(c.chunks, key)
+			pruned++
+		}
+	}
+	if pruned > 0 {
+		c.scope.Counter("dist_chunks_pruned").Add(int64(pruned))
+	}
 }
 
 // ShardHealth reports per-slice liveness for /progress: the owning worker,

@@ -1,0 +1,380 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/faults"
+)
+
+// corruptNewestSnapshot flips a byte in the middle of the newest snapshot
+// file, simulating at-rest corruption of the primary recovery source.
+func corruptNewestSnapshot(t *testing.T, dir string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "state-*.ckpt"))
+	if err != nil || len(names) < 2 {
+		t.Fatalf("want >= 2 snapshots to corrupt one, have %v (%v)", names, err)
+	}
+	sort.Strings(names)
+	path := names[len(names)-1]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// attachJournal opens the journal at dir and wires it to tr's coordinator,
+// running the recovery sweep to completion.
+func (tr *testRun) attachJournal(t *testing.T, dir string, opener FileOpener) *Journal {
+	t.Helper()
+	j, err := OpenJournal(dir, JournalOptions{Opener: opener})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.coord.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.coord.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// runWorkersUntilLevel runs workers until the coordinator's barrier
+// reaches the level, then cancels them — the in-process stand-in for a
+// coordinator crash mid-run (the journal stops receiving appends at an
+// arbitrary point inside a level).
+func (tr *testRun) runWorkersUntilLevel(t *testing.T, level int, workers ...*Worker) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	go func() {
+		for {
+			if tr.coord.Status().Level >= level {
+				cancel()
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx) // ctx.Err() is the expected way out
+		}()
+	}
+	wg.Wait()
+	if st := tr.coord.Status(); st.Level < level {
+		t.Fatalf("run stopped at level %d before reaching %d", st.Level, level)
+	}
+}
+
+// TestRecoverMidRunWitnessIdentical is the tentpole's in-process proof: a
+// journaled run is abandoned mid-level, a brand-new coordinator recovers
+// from the journal directory at the exact level, fresh workers finish the
+// run, and the merged witness is byte-identical to the sequential
+// reference.
+func TestRecoverMidRunWitnessIdentical(t *testing.T) {
+	dir := t.TempDir()
+	tr1 := newTestRun(t, 3, 3, 6, 5000)
+	tr1.attachJournal(t, dir, nil)
+	tr1.runWorkersUntilLevel(t, 2, tr1.worker("pre-a", 1, nil), tr1.worker("pre-b", 2, nil))
+	st1 := tr1.coord.Status()
+	tr1.srv.Close()
+
+	tr2 := newTestRun(t, 3, 3, 6, 5000)
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Recovered() {
+		t.Fatal("journal directory with a run in it recovered nothing")
+	}
+	if err := tr2.coord.AttachJournal(j2); err != nil {
+		t.Fatal(err)
+	}
+	if !tr2.coord.Recovering() {
+		t.Fatal("coordinator not in the recovery window after attaching recovered state")
+	}
+	if err := tr2.coord.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := tr2.coord.Status()
+	if st2.Recovering {
+		t.Fatal("still recovering after the sweep")
+	}
+	if st2.Level != st1.Level {
+		t.Fatalf("recovered at level %d, crashed at %d", st2.Level, st1.Level)
+	}
+	if st2.Gen < 1 {
+		t.Fatalf("recovery did not bump the generation: %+v", st2)
+	}
+
+	got := tr2.runWorkers(t, tr2.worker("post-a", 11, nil), tr2.worker("post-b", 12, nil))
+	if want := tr2.sequential(t); !bytes.Equal(got, want) {
+		t.Fatalf("witness after recovery differs:\n--- recovered\n%s--- sequential\n%s", got, want)
+	}
+}
+
+// TestRecoverSurvivesSecondCrash: crash, recover, crash again mid-level,
+// recover again — generations strictly increase and the final witness
+// still matches. Exercises the snapshot chain across incarnations.
+func TestRecoverSurvivesSecondCrash(t *testing.T) {
+	dir := t.TempDir()
+	tr1 := newTestRun(t, 3, 2, 6, 5000)
+	tr1.attachJournal(t, dir, nil)
+	tr1.runWorkersUntilLevel(t, 1, tr1.worker("a1", 1, nil))
+	tr1.srv.Close()
+
+	tr2 := newTestRun(t, 3, 2, 6, 5000)
+	tr2.attachJournal(t, dir, nil)
+	gen2 := tr2.coord.Status().Gen
+	tr2.runWorkersUntilLevel(t, 2, tr2.worker("a2", 2, nil), tr2.worker("b2", 3, nil))
+	tr2.srv.Close()
+
+	tr3 := newTestRun(t, 3, 2, 6, 5000)
+	tr3.attachJournal(t, dir, nil)
+	if gen3 := tr3.coord.Status().Gen; gen3 <= gen2 {
+		t.Fatalf("generation did not advance across crashes: %d then %d", gen2, gen3)
+	}
+	got := tr3.runWorkers(t, tr3.worker("a3", 4, nil))
+	if want := tr3.sequential(t); !bytes.Equal(got, want) {
+		t.Fatalf("witness after two recoveries differs:\n--- recovered\n%s--- sequential\n%s", got, want)
+	}
+}
+
+// TestRecoverFinishedRun: restarting over the journal of a completed run
+// comes back done immediately, with the identical witness re-rendered from
+// the recovered stats.
+func TestRecoverFinishedRun(t *testing.T) {
+	dir := t.TempDir()
+	tr1 := newTestRun(t, 3, 2, 5, 5000)
+	tr1.attachJournal(t, dir, nil)
+	want := tr1.runWorkers(t, tr1.worker("w", 5, nil))
+	tr1.srv.Close()
+
+	tr2 := newTestRun(t, 3, 2, 5, 5000)
+	tr2.attachJournal(t, dir, nil)
+	st := tr2.coord.Status()
+	if !st.Done {
+		t.Fatalf("recovered finished run not done: %+v", st)
+	}
+	select {
+	case <-tr2.coord.Done():
+	default:
+		t.Fatal("done channel not closed after recovering a finished run")
+	}
+	got, err := tr2.coord.Witness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("witness changed across restart:\n--- before\n%s--- after\n%s", want, got)
+	}
+}
+
+// TestRecoveryWindowGatesAndStashes covers the recovery window's HTTP
+// contract: worker endpoints answer 503 + Retry-After, liveness stays 200,
+// readiness is 503, and chunk POSTs are stashed idempotently with the
+// journaled copy winning over late reposts (the satellite-6 fix).
+func TestRecoveryWindowGatesAndStashes(t *testing.T) {
+	dir := t.TempDir()
+	tr1 := newTestRun(t, 3, 2, 4, 5000)
+	tr1.attachJournal(t, dir, nil)
+	c1 := tr1.coord
+	c1.poll("w")
+	c1.poll("w") // w owns both slices at level 0
+	entries := []Entry{{FP: explore.Fingerprint{7, 8}, Path: []uint32{1}}}
+	journaled, err := EncodeFrontierChunk(0, 0, 1, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.putChunk("w", journaled); err != nil {
+		t.Fatal(err)
+	}
+	tr1.srv.Close()
+
+	// Restart into the recovery window: attach but do not recover yet.
+	tr2 := newTestRun(t, 3, 2, 4, 5000)
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.coord.AttachJournal(j2); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tr2.coord.Handler())
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := get("/dist/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during recovery: %s", resp.Status)
+	}
+	if resp := get("/dist/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during recovery: %s", resp.Status)
+	}
+	pollResp, err := http.Post(srv.URL+"/dist/poll?worker=w", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollResp.Body.Close()
+	if pollResp.StatusCode != http.StatusServiceUnavailable || pollResp.Header.Get("Retry-After") == "" {
+		t.Fatalf("poll during recovery: %s, Retry-After %q", pollResp.Status, pollResp.Header.Get("Retry-After"))
+	}
+
+	// A delayed duplicate of the journaled chunk with different bytes (a
+	// zombie's divergent repost) and a genuinely new chunk, both during
+	// the window. Neither may 409; the first must lose to the journal.
+	divergent, err := EncodeFrontierChunk(0, 0, 1, []Entry{{FP: explore.Fingerprint{9, 9}, Path: []uint32{2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := EncodeFrontierChunk(0, 1, 0, []Entry{{FP: explore.Fingerprint{5, 6}, Path: []uint32{3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range [][]byte{divergent, fresh, fresh} { // repeat: idempotent
+		resp, err := http.Post(srv.URL+"/dist/chunk?worker=zombie", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("chunk POST during recovery window: %s", resp.Status)
+		}
+	}
+
+	if err := tr2.coord.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if resp := get("/dist/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after recovery: %s", resp.Status)
+	}
+	got, err := tr2.coord.getChunk(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, journaled) {
+		t.Fatal("divergent repost during the recovery window overwrote the journaled chunk")
+	}
+	stashed, err := tr2.coord.getChunk(0, 1, 0)
+	if err != nil {
+		t.Fatalf("chunk stashed during the recovery window was not installed: %v", err)
+	}
+	if !bytes.Equal(stashed, fresh) {
+		t.Fatal("stashed chunk bytes mangled")
+	}
+}
+
+// TestRecoverEpochsFenceZombies: epochs granted after a restart sit above
+// the new generation's base, so nothing a pre-crash grant issued can ever
+// collide with them.
+func TestRecoverEpochsFenceZombies(t *testing.T) {
+	dir := t.TempDir()
+	tr1 := newTestRun(t, 3, 1, 4, 5000)
+	tr1.attachJournal(t, dir, nil)
+	pre := tr1.coord.poll("w")
+	if len(pre.Slices) != 1 {
+		t.Fatalf("no grant: %+v", pre)
+	}
+	tr1.srv.Close()
+
+	tr2 := newTestRun(t, 3, 1, 4, 5000)
+	tr2.attachJournal(t, dir, nil)
+	post := tr2.coord.poll("w")
+	if len(post.Slices) != 1 {
+		t.Fatalf("no grant after recovery: %+v", post)
+	}
+	gen := tr2.coord.Status().Gen
+	if base := gen << epochGenShift; post.Slices[0].Epoch <= base || post.Slices[0].Epoch <= pre.Slices[0].Epoch {
+		t.Fatalf("post-recovery epoch %d (gen %d, base %d) does not fence pre-crash epoch %d",
+			post.Slices[0].Epoch, gen, base, pre.Slices[0].Epoch)
+	}
+}
+
+// TestAttachJournalSpecMismatch: a journal directory from a different run
+// is refused loudly — silently exploring the wrong space under a recovered
+// level would corrupt the witness.
+func TestAttachJournalSpecMismatch(t *testing.T) {
+	dir := t.TempDir()
+	tr1 := newTestRun(t, 3, 2, 4, 5000)
+	tr1.attachJournal(t, dir, nil)
+	tr1.srv.Close()
+
+	tr2 := newTestRun(t, 3, 3, 4, 5000) // different slice count
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.coord.AttachJournal(j); err == nil {
+		t.Fatal("journal for a different spec attached without error")
+	}
+}
+
+// TestRecoverWithDegradedJournal: a journal on a "failing disk" (every WAL
+// file hits ENOSPC almost immediately) degrades to memory-only without
+// disturbing the barrier — the run completes and the witness matches. The
+// snapshots are left healthy so rotation keeps re-arming the WAL; the test
+// proves the degradation path is invisible to correctness either way.
+func TestRecoverWithDegradedJournal(t *testing.T) {
+	dir := t.TempDir()
+	tr := newTestRun(t, 3, 2, 5, 5000)
+	opener := func(path string, flag int) (faults.File, error) {
+		if len(path) > 4 && path[len(path)-4:] == ".seg" {
+			return (&faults.FSFault{Budget: 16}).Opener()(path, flag)
+		}
+		return faults.OpenOS(path, flag)
+	}
+	tr.attachJournal(t, dir, opener)
+	got := tr.runWorkers(t, tr.worker("w", 9, nil))
+	if want := tr.sequential(t); !bytes.Equal(got, want) {
+		t.Fatalf("witness with degraded journal differs:\n--- distributed\n%s--- sequential\n%s", got, want)
+	}
+}
+
+// TestRecoverFromSnapshotCorruption: corrupt the newest snapshot after a
+// mid-run crash; the coordinator falls back to the previous snapshot plus
+// both WALs and still finishes with the identical witness.
+func TestRecoverFromSnapshotCorruption(t *testing.T) {
+	dir := t.TempDir()
+	tr1 := newTestRun(t, 3, 2, 6, 5000)
+	tr1.attachJournal(t, dir, nil)
+	tr1.runWorkersUntilLevel(t, 2, tr1.worker("a", 1, nil), tr1.worker("b", 2, nil))
+	tr1.srv.Close()
+
+	corruptNewestSnapshot(t, dir)
+
+	tr2 := newTestRun(t, 3, 2, 6, 5000)
+	tr2.attachJournal(t, dir, nil)
+	got := tr2.runWorkers(t, tr2.worker("c", 3, nil))
+	if want := tr2.sequential(t); !bytes.Equal(got, want) {
+		t.Fatalf("witness after snapshot-corruption fallback differs:\n--- recovered\n%s--- sequential\n%s", got, want)
+	}
+}

@@ -1,0 +1,290 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Composable chaos schedules. A ChaosSchedule scripts one full distributed
+// run's worth of failures — a coordinator SIGKILL at a BFS level, worker
+// kills and stalls, corrupt chunk serves, and filesystem faults against the
+// coordinator's journal — in a single parseable, replayable value. The
+// `spacebound -chaos` driver executes it; because every fault is keyed to a
+// deterministic trigger (a level, an operation count, a byte budget) rather
+// than wall-clock time, re-running the same schedule reproduces the same
+// failure sequence.
+
+// CoordFault scripts the coordinator's own crash: SIGKILL once the run
+// reaches Level, then restart after Restart (from the same journal).
+type CoordFault struct {
+	Level   int
+	Restart time.Duration
+}
+
+// ChaosWorker is one scripted worker of the run: an id plus an optional
+// process fault. A nil Fault is a healthy worker — the kind whose exit code
+// the harness asserts stays zero through everyone else's failures.
+type ChaosWorker struct {
+	ID    string
+	Fault *ShardFault
+}
+
+// ChaosSchedule is a whole run's failure script.
+type ChaosSchedule struct {
+	// Seed feeds every seeded component (client backoff jitter) so a replay
+	// of the schedule retries at the same moments.
+	Seed int64
+	// Coord, when non-nil, SIGKILLs the coordinator at its level.
+	Coord *CoordFault
+	// Workers lists the run's workers in start order. The first worker is
+	// started alone (a grace before the rest join) so it leases every slice
+	// and its scripted death forces full reassignment.
+	Workers []ChaosWorker
+	// CorruptGets scripts the coordinator to serve the first N chunk GETs
+	// corrupted (the "dist.chunk.get" op fault).
+	CorruptGets int
+	// FS, when non-nil, injects filesystem faults into the coordinator's
+	// journal writes.
+	FS *FSFault
+}
+
+// ParseChaosSchedule parses the -chaos flag syntax: semicolon-separated
+// directives, each one fault or worker.
+//
+//	coord:kill@level=4              SIGKILL the coordinator at level 4
+//	coord:kill@level=4:restart=1s   ... and wait 1s before restarting it
+//	worker:w1:kill@level=3          worker w1 runs with -shard-fault kill@level=3
+//	worker:w2:stall@level=2:dur=800ms
+//	worker:w3                       healthy worker
+//	corrupt-gets=2                  serve the first 2 chunk GETs corrupted
+//	fs:enospc@bytes=4096            journal files hit ENOSPC after 4KiB each
+//	fs:shortwrite@write=3           journal files short-write their 3rd write
+//	fs:syncfail                     journal fsyncs fail
+//	seed=7                          jitter seed
+func ParseChaosSchedule(s string) (*ChaosSchedule, error) {
+	sched := &ChaosSchedule{Seed: 1}
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(part, "coord:"):
+			if sched.Coord != nil {
+				return nil, fmt.Errorf("faults: chaos schedule has two coord faults")
+			}
+			cf, err := parseCoordFault(strings.TrimPrefix(part, "coord:"))
+			if err != nil {
+				return nil, err
+			}
+			sched.Coord = cf
+		case strings.HasPrefix(part, "worker:"):
+			w, err := parseChaosWorker(strings.TrimPrefix(part, "worker:"))
+			if err != nil {
+				return nil, err
+			}
+			if seen[w.ID] {
+				return nil, fmt.Errorf("faults: chaos schedule repeats worker %q", w.ID)
+			}
+			seen[w.ID] = true
+			sched.Workers = append(sched.Workers, w)
+		case strings.HasPrefix(part, "fs:"):
+			if sched.FS != nil {
+				return nil, fmt.Errorf("faults: chaos schedule has two fs faults")
+			}
+			fs, err := ParseFSFault(strings.TrimPrefix(part, "fs:"))
+			if err != nil {
+				return nil, err
+			}
+			sched.FS = fs
+		case strings.HasPrefix(part, "corrupt-gets="):
+			n, err := strconv.Atoi(strings.TrimPrefix(part, "corrupt-gets="))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faults: chaos schedule: bad corrupt-gets %q", part)
+			}
+			sched.CorruptGets = n
+		case strings.HasPrefix(part, "seed="):
+			v, err := strconv.ParseInt(strings.TrimPrefix(part, "seed="), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: chaos schedule: bad seed %q", part)
+			}
+			sched.Seed = v
+		default:
+			return nil, fmt.Errorf("faults: chaos schedule: unknown directive %q", part)
+		}
+	}
+	if len(sched.Workers) == 0 {
+		return nil, fmt.Errorf("faults: chaos schedule has no workers")
+	}
+	return sched, nil
+}
+
+// parseCoordFault parses "kill@level=N[:restart=D]".
+func parseCoordFault(s string) (*CoordFault, error) {
+	kind, rest, ok := strings.Cut(s, "@")
+	if !ok || kind != "kill" {
+		return nil, fmt.Errorf("faults: coord fault %q: want kill@level=N[:restart=D]", s)
+	}
+	cf := &CoordFault{Restart: 500 * time.Millisecond}
+	for _, part := range strings.Split(rest, ":") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: coord fault %q: bad field %q", s, part)
+		}
+		switch key {
+		case "level":
+			lv, err := strconv.Atoi(val)
+			if err != nil || lv < 0 {
+				return nil, fmt.Errorf("faults: coord fault %q: bad level %q", s, val)
+			}
+			cf.Level = lv
+		case "restart":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("faults: coord fault %q: bad restart %q", s, val)
+			}
+			cf.Restart = d
+		default:
+			return nil, fmt.Errorf("faults: coord fault %q: unknown field %q", s, key)
+		}
+	}
+	return cf, nil
+}
+
+// parseChaosWorker parses "id" or "id:<shard-fault>".
+func parseChaosWorker(s string) (ChaosWorker, error) {
+	id, faultSpec, hasFault := strings.Cut(s, ":")
+	if id == "" {
+		return ChaosWorker{}, fmt.Errorf("faults: chaos worker %q: empty id", s)
+	}
+	w := ChaosWorker{ID: id}
+	if hasFault {
+		f, err := ParseShardFault(faultSpec)
+		if err != nil {
+			return ChaosWorker{}, err
+		}
+		w.Fault = f
+	}
+	return w, nil
+}
+
+// String renders the schedule back in the flag syntax — the replayable
+// form the harness logs so a failing run can be re-run verbatim.
+func (s *ChaosSchedule) String() string {
+	var parts []string
+	if s.Coord != nil {
+		parts = append(parts, fmt.Sprintf("coord:kill@level=%d:restart=%s", s.Coord.Level, s.Coord.Restart))
+	}
+	for _, w := range s.Workers {
+		p := "worker:" + w.ID
+		if w.Fault != nil {
+			switch w.Fault.Kind {
+			case "kill":
+				p += fmt.Sprintf(":kill@level=%d", w.Fault.Level)
+			case "stall":
+				p += fmt.Sprintf(":stall@level=%d:dur=%s", w.Fault.Level, w.Fault.Stall)
+			}
+		}
+		parts = append(parts, p)
+	}
+	if s.CorruptGets > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt-gets=%d", s.CorruptGets))
+	}
+	if s.FS != nil {
+		parts = append(parts, "fs:"+s.FS.String())
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	return strings.Join(parts, "; ")
+}
+
+// FSFault scripts filesystem faults against one component's file writes:
+// every file opened through Opener gets a fresh FaultyFile with this
+// script, so "enospc@bytes=N" means each file accepts N bytes before the
+// simulated volume fills under it.
+type FSFault struct {
+	// Budget is the per-file byte budget before ErrDiskFull (0 = none).
+	Budget int64
+	// ShortWriteAt truncates the Nth write of each file (0 = never).
+	ShortWriteAt int
+	// FailSync makes every Sync fail.
+	FailSync bool
+}
+
+// ParseFSFault parses "enospc@bytes=N", "shortwrite@write=K" or "syncfail".
+func ParseFSFault(s string) (*FSFault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "syncfail" {
+		return &FSFault{FailSync: true}, nil
+	}
+	kind, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return nil, fmt.Errorf("faults: fs fault %q: want enospc@bytes=N, shortwrite@write=K or syncfail", s)
+	}
+	key, val, ok := strings.Cut(rest, "=")
+	if !ok {
+		return nil, fmt.Errorf("faults: fs fault %q: bad field %q", s, rest)
+	}
+	switch {
+	case kind == "enospc" && key == "bytes":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("faults: fs fault %q: bad byte budget %q", s, val)
+		}
+		return &FSFault{Budget: n}, nil
+	case kind == "shortwrite" && key == "write":
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("faults: fs fault %q: bad write index %q", s, val)
+		}
+		return &FSFault{ShortWriteAt: n}, nil
+	}
+	return nil, fmt.Errorf("faults: fs fault %q: unknown kind %q", s, kind)
+}
+
+// String renders the fault in the flag syntax.
+func (f *FSFault) String() string {
+	switch {
+	case f == nil:
+		return ""
+	case f.Budget > 0:
+		return fmt.Sprintf("enospc@bytes=%d", f.Budget)
+	case f.ShortWriteAt > 0:
+		return fmt.Sprintf("shortwrite@write=%d", f.ShortWriteAt)
+	case f.FailSync:
+		return "syncfail"
+	}
+	return ""
+}
+
+// OpenOS opens path like os.OpenFile with 0o644 permissions, typed as the
+// File interface the fault-injected write paths consume — the default
+// opener a FileOpener hook falls back to.
+func OpenOS(path string, flag int) (File, error) {
+	f, err := os.OpenFile(path, flag, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Opener returns a file-opening hook that wraps every opened file in a
+// FaultyFile carrying this fault script. Safe on nil: a nil fault's opener
+// is plain OpenOS.
+func (f *FSFault) Opener() func(path string, flag int) (File, error) {
+	if f == nil {
+		return OpenOS
+	}
+	return func(path string, flag int) (File, error) {
+		file, err := OpenOS(path, flag)
+		if err != nil {
+			return nil, err
+		}
+		return &FaultyFile{F: file, Budget: f.Budget, ShortWriteAt: f.ShortWriteAt, FailSync: f.FailSync}, nil
+	}
+}
